@@ -1,0 +1,187 @@
+// Command dbbench is the db_bench equivalent: it drives the store with
+// configurable workloads either on a simulated device (virtual time,
+// deterministic) or on a real directory with the real clock.
+//
+// Examples:
+//
+//	dbbench -device xpoint -threads 8 -write_ratio 0.5 -duration 10s
+//	dbbench -device sata -benchmarks fillrandom -num 50000
+//	dbbench -path /tmp/bench -threads 4 -duration 5s   # real disk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"xpointdb/internal/clock"
+	"xpointdb/internal/costmodel"
+	"xpointdb/internal/engine"
+	"xpointdb/internal/sim"
+	"xpointdb/internal/storage"
+	"xpointdb/internal/throttle"
+	"xpointdb/internal/vfs"
+	"xpointdb/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		device     = flag.String("device", "xpoint", "simulated device: sata | pcie | xpoint | nvm | null")
+		path       = flag.String("path", "", "run on a real directory with the real clock instead of a simulated device")
+		benchmarks = flag.String("benchmarks", "readrandomwriterandom", "comma-free single benchmark: fillrandom | readrandom | readrandomwriterandom")
+		threads    = flag.Int("threads", 4, "concurrent client threads")
+		duration   = flag.Duration("duration", 10*time.Second, "measured duration")
+		num        = flag.Int("num", 24000, "distinct keys")
+		valueSize  = flag.Int("value_size", 1024, "value size in bytes")
+		writeRatio = flag.Float64("write_ratio", 0.5, "write fraction for readrandomwriterandom")
+		memtable   = flag.Int64("memtable_size", 2<<20, "memtable bytes")
+		disableWAL = flag.Bool("disable_wal", false, "run without the write-ahead log")
+		walDevice  = flag.String("wal_device", "", "place the WAL on a separate simulated device (e.g. nvm)")
+		pipelined  = flag.Bool("pipelined", true, "pipelined writes (paper Algorithm 2)")
+		throttleM  = flag.String("throttle", "algo1", "write controller: none | algo1 | twostage")
+		seed       = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	mode := throttle.ModeAlgorithm1
+	switch *throttleM {
+	case "none":
+		mode = throttle.ModeNone
+	case "algo1":
+	case "twostage":
+		mode = throttle.ModeTwoStage
+	default:
+		log.Fatalf("unknown -throttle %q", *throttleM)
+	}
+
+	tweak := func(o *engine.Options) {
+		o.MemtableSize = *memtable
+		o.TargetFileSize = *memtable
+		o.BaseLevelBytes = 4 * *memtable
+		o.DisableWAL = *disableWAL
+		o.PipelinedWrites = *pipelined
+		o.ThrottleMode = mode
+	}
+
+	if *path != "" {
+		runReal(*path, tweak, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed)
+		return
+	}
+
+	prof, ok := storage.ProfileByName(*device)
+	if !ok {
+		log.Fatalf("unknown -device %q", *device)
+	}
+	k := sim.New(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+	dev := storage.New(k, prof)
+	fs := vfs.NewMem(dev)
+	opts := engine.DefaultOptions(fs)
+	opts.Clock = k
+	opts.CostModel = costmodel.Default()
+	tweak(&opts)
+
+	var walDev *storage.Device
+	if *walDevice != "" {
+		wprof, ok := storage.ProfileByName(*walDevice)
+		if !ok {
+			log.Fatalf("unknown -wal_device %q", *walDevice)
+		}
+		walDev = storage.New(k, wprof)
+		opts.WALFS = vfs.NewMem(walDev)
+	}
+
+	wall := time.Now()
+	var res *workload.Result
+	var m *engine.Metrics
+	k.Run(func() {
+		db, err := engine.Open(opts)
+		if err != nil {
+			log.Fatalf("open: %v", err)
+		}
+		res = runBenchmark(k, db, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed)
+		m = db.Metrics()
+		if err := db.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	})
+
+	fmt.Printf("benchmark      : %s on %s (simulated, virtual time)\n", *benchmarks, prof.Name)
+	printResult(res, m)
+	fmt.Printf("device         : %v (queue waits sampled at end: %d)\n", dev.Stats(), dev.QueueDepth())
+	if walDev != nil {
+		fmt.Printf("wal device     : %v\n", walDev.Stats())
+	}
+	fmt.Fprintf(os.Stderr, "[%v virtual simulated in %v wall]\n", res.Duration.Round(time.Millisecond), time.Since(wall).Round(time.Millisecond))
+}
+
+func runReal(path string, tweak func(*engine.Options), bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64) {
+	fs, err := vfs.NewOS(path)
+	if err != nil {
+		log.Fatalf("open dir: %v", err)
+	}
+	opts := engine.DefaultOptions(fs)
+	tweak(&opts)
+	db, err := engine.Open(opts)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	res := runBenchmark(clock.Real{}, db, bench, threads, duration, num, valueSize, writeRatio, seed)
+	m := db.Metrics()
+	if err := db.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	fmt.Printf("benchmark      : %s on %s (real clock)\n", bench, path)
+	printResult(res, m)
+}
+
+func runBenchmark(clk clock.Clock, db *engine.DB, bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64) *workload.Result {
+	cfg := workload.Config{
+		Workers:   threads,
+		Duration:  duration,
+		KeySpace:  num,
+		ValueSize: valueSize,
+		Seed:      seed,
+	}
+	switch bench {
+	case "fillrandom":
+		cfg.ReadRatio = 0
+	case "readrandom":
+		if err := workload.Preload(db, num, valueSize); err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		cfg.ReadRatio = 1
+	case "readrandomwriterandom":
+		if err := workload.Preload(db, num, valueSize); err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		cfg.ReadRatio = 1 - writeRatio
+	default:
+		log.Fatalf("unknown -benchmarks %q", bench)
+	}
+	return workload.Run(clk, db, cfg)
+}
+
+func printResult(res *workload.Result, m *engine.Metrics) {
+	fmt.Printf("throughput     : %.1f kop/s (%d ops in %v)\n", res.Throughput()/1000, res.Ops(), res.Duration.Round(time.Millisecond))
+	if res.Reads > 0 {
+		fmt.Printf("read latency   : %s\n", res.ReadLat)
+	}
+	if res.Writes > 0 {
+		fmt.Printf("write latency  : %s\n", res.WriteLat)
+	}
+	fmt.Printf("read misses    : %d   errors: %d\n", res.ReadMisses, res.Errors)
+	fmt.Printf("flushes        : %d (%d B)   compactions: %d (read %d B, wrote %d B)\n",
+		m.Flushes.Load(), m.FlushBytes.Load(), m.Compactions.Load(),
+		m.CompactionBytesRead.Load(), m.CompactionBytesWritten.Load())
+	fmt.Printf("stalls         : delay %v, stop %v in %d episodes\n",
+		time.Duration(m.StallDelayTotal.Load()).Round(time.Microsecond),
+		time.Duration(m.StallStopTotal.Load()).Round(time.Microsecond),
+		m.StallStops.Load())
+	fmt.Printf("waiting writers: mean %.2f, max %d\n", m.WaitingWriters.Mean(), m.WaitingWriters.Max())
+	fmt.Printf("read path      : mem %d, imm %d, L0 %d, deep %d, miss %d; L0 probes %d, bloom skips %d\n",
+		m.GetHitMemtable.Load(), m.GetHitImmutable.Load(), m.GetHitL0.Load(),
+		m.GetHitDeep.Load(), m.GetMisses.Load(), m.L0TablesProbed.Load(), m.BloomSkips.Load())
+}

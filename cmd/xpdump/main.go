@@ -1,0 +1,245 @@
+// Command xpdump inspects database files — the sst_dump / ldb
+// equivalent. It understands all three on-disk formats:
+//
+//	xpdump -db /path/to/db                    # directory overview
+//	xpdump -db /path/to/db -file 000007.sst   # dump one SST
+//	xpdump -db /path/to/db -file 000003.log   # dump one WAL
+//	xpdump -db /path/to/db -file MANIFEST-000001
+//	xpdump -db /path/to/db -file 000007.sst -keys   # include every key
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"xpointdb/internal/batch"
+	"xpointdb/internal/keys"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/sstable"
+	"xpointdb/internal/vfs"
+	"xpointdb/internal/wal"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dbDir    = flag.String("db", "", "database directory (required)")
+		file     = flag.String("file", "", "file to dump; empty = directory overview")
+		showKeys = flag.Bool("keys", false, "list every key (SSTs and WALs)")
+	)
+	flag.Parse()
+	if *dbDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fs, err := vfs.NewOS(*dbDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *file == "" {
+		overview(fs)
+		return
+	}
+	typ, _ := manifest.ParseName(*file)
+	switch typ {
+	case manifest.TypeSST:
+		dumpSST(fs, *file, *showKeys)
+	case manifest.TypeWAL:
+		dumpWAL(fs, *file, *showKeys)
+	case manifest.TypeManifest:
+		dumpManifest(fs, *file)
+	case manifest.TypeCurrent:
+		dumpCurrent(fs)
+	default:
+		log.Fatalf("don't know how to dump %q", *file)
+	}
+}
+
+func overview(fs vfs.FS) {
+	names, err := fs.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var totalSST, nSST int64
+	for _, n := range names {
+		size, _ := fs.Size(n)
+		typ, num := manifest.ParseName(n)
+		var kind string
+		switch typ {
+		case manifest.TypeSST:
+			kind = "sst"
+			totalSST += size
+			nSST++
+		case manifest.TypeWAL:
+			kind = "wal"
+		case manifest.TypeManifest:
+			kind = "manifest"
+		case manifest.TypeCurrent:
+			kind = "current"
+		default:
+			kind = "?"
+		}
+		fmt.Printf("%-20s %-9s num=%-6d %10d bytes\n", n, kind, num, size)
+	}
+	fmt.Printf("\n%d SSTs, %d bytes total\n", nSST, totalSST)
+
+	// Show the live version per CURRENT, if parseable.
+	set, err := manifest.Recover(fs)
+	if err != nil {
+		fmt.Printf("(manifest not readable: %v)\n", err)
+		return
+	}
+	defer set.Close()
+	fmt.Printf("\nlive version (next file %d, last seq %d, log %d):\n%s",
+		set.NextFileNum, set.LastSeq, set.LogNum, set.Current().DebugString())
+}
+
+func dumpSST(fs vfs.FS, name string, showKeys bool) {
+	size, err := fs.Size(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := fs.Open(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	_, num := manifest.ParseName(name)
+	r, err := sstable.NewReader(f, size, num, nil)
+	if err != nil {
+		log.Fatalf("open table: %v", err)
+	}
+	it := r.NewIter()
+	var n, sets, dels int
+	var firstKey, lastKey []byte
+	var keyBytes, valBytes int64
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if n == 0 {
+			firstKey = append([]byte(nil), it.Key()...)
+		}
+		lastKey = append(lastKey[:0], it.Key()...)
+		if _, kind := keys.Trailer(it.Key()); kind == keys.KindDelete {
+			dels++
+		} else {
+			sets++
+		}
+		keyBytes += int64(len(it.Key()))
+		valBytes += int64(len(it.Value()))
+		if showKeys {
+			fmt.Printf("  %s = %d bytes\n", keys.String(it.Key()), len(it.Value()))
+		}
+		n++
+	}
+	if err := it.Error(); err != nil {
+		log.Fatalf("scan: %v", err)
+	}
+	fmt.Printf("%s: %d bytes, %d entries (%d sets, %d tombstones)\n", name, size, n, sets, dels)
+	fmt.Printf("keys %d bytes, values %d bytes\n", keyBytes, valBytes)
+	if n > 0 {
+		fmt.Printf("range: %s .. %s\n", keys.String(firstKey), keys.String(lastKey))
+	}
+}
+
+func dumpWAL(fs vfs.FS, name string, showKeys bool) {
+	f, err := fs.Open(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r := wal.NewReader(f)
+	var recs, ops int
+	for {
+		rec, err := r.ReadRecord()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, wal.ErrCorrupt) {
+			fmt.Printf("(torn tail after %d records)\n", recs)
+			break
+		}
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		b, err := batch.FromRepr(rec)
+		if err != nil {
+			log.Fatalf("record %d: %v", recs, err)
+		}
+		if showKeys {
+			fmt.Printf("batch seq=%d count=%d\n", b.Sequence(), b.Count())
+			b.Iterate(func(kind keys.Kind, key, value []byte) error {
+				op := "SET"
+				if kind == keys.KindDelete {
+					op = "DEL"
+				}
+				fmt.Printf("  %s %q (%d bytes)\n", op, key, len(value))
+				return nil
+			})
+		}
+		ops += int(b.Count())
+		recs++
+	}
+	fmt.Printf("%s: %d batches, %d operations\n", name, recs, ops)
+}
+
+func dumpManifest(fs vfs.FS, name string) {
+	f, err := fs.Open(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r := wal.NewReader(f)
+	v := &manifest.Version{}
+	n := 0
+	for {
+		rec, err := r.ReadRecord()
+		if errors.Is(err, io.EOF) || errors.Is(err, wal.ErrCorrupt) {
+			break
+		}
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		edit, err := manifest.DecodeEdit(rec)
+		if err != nil {
+			log.Fatalf("edit %d: %v", n, err)
+		}
+		fmt.Printf("edit %d:", n)
+		if edit.LogNum != nil {
+			fmt.Printf(" log=%d", *edit.LogNum)
+		}
+		if edit.NextFileNum != nil {
+			fmt.Printf(" next=%d", *edit.NextFileNum)
+		}
+		if edit.LastSeq != nil {
+			fmt.Printf(" seq=%d", *edit.LastSeq)
+		}
+		for _, a := range edit.Added {
+			fmt.Printf(" +L%d:%d(%dB)", a.Level, a.Meta.Num, a.Meta.Size)
+		}
+		for _, d := range edit.Deleted {
+			fmt.Printf(" -L%d:%d", d.Level, d.Num)
+		}
+		fmt.Println()
+		if nv, err := v.Apply(edit); err == nil {
+			v = nv
+		} else {
+			fmt.Printf("  (apply failed: %v)\n", err)
+		}
+		n++
+	}
+	fmt.Printf("\nfinal version after %d edits:\n%s", n, v.DebugString())
+}
+
+func dumpCurrent(fs vfs.FS) {
+	f, err := fs.Open(manifest.CurrentName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	n, _ := f.ReadAt(buf, 0)
+	fmt.Printf("CURRENT -> %s", buf[:n])
+}

@@ -1,0 +1,66 @@
+// NVM logging (paper case study C): move the write-ahead log from the
+// data device to byte-addressable NVM and measure the write tail
+// latency against WAL-on-data-device and WAL-off configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xpointdb"
+	"xpointdb/internal/workload"
+)
+
+func run(configure func(*xpointdb.Simulation)) *workload.Result {
+	sim := xpointdb.NewSimulation(xpointdb.XPoint())
+	configure(sim)
+
+	var res *workload.Result
+	sim.Kernel.Run(func() {
+		db, err := xpointdb.Open(sim.Options)
+		if err != nil {
+			log.Fatalf("open: %v", err)
+		}
+		defer db.Close()
+		if err := workload.Preload(db, 20000, 1024); err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		res = workload.Run(sim.Kernel, db, workload.Config{
+			Workers:   4,
+			ReadRatio: 0.5, // the paper's 50% insertion ratio
+			Duration:  10 * time.Second,
+			KeySpace:  20000,
+			ValueSize: 1024,
+			Seed:      1,
+		})
+	})
+	return res
+}
+
+func main() {
+	configs := []struct {
+		name string
+		fn   func(*xpointdb.Simulation)
+	}{
+		{"wal on data device", func(s *xpointdb.Simulation) {}},
+		{"wal on NVM        ", func(s *xpointdb.Simulation) { s.WithWALDevice(xpointdb.NVM()) }},
+		{"wal disabled      ", func(s *xpointdb.Simulation) { s.Options.DisableWAL = true }},
+	}
+	fmt.Println("write latency at 50% inserts on a 3D XPoint data device:")
+	var base time.Duration
+	for i, c := range configs {
+		res := run(c.fn)
+		p90 := res.WriteLat.Percentile(90)
+		if i == 0 {
+			base = p90
+		}
+		fmt.Printf("  %s  p50=%-8v p90=%-8v p99=%-8v (%+.1f%% vs baseline p90)\n",
+			c.name, res.WriteLat.Percentile(50).Round(time.Microsecond),
+			p90.Round(time.Microsecond), res.WriteLat.Percentile(99).Round(time.Microsecond),
+			(float64(p90)/float64(base)-1)*100)
+	}
+	fmt.Println("\nThe paper's finding: NVM logging removes a sizable slice of the WAL")
+	fmt.Println("cost (−18.8% p90 in the paper) but not all of it — only disabling")
+	fmt.Println("the log entirely gets the rest, at the price of crash safety.")
+}

@@ -1,0 +1,3 @@
+module xpointdb
+
+go 1.23

@@ -1,0 +1,126 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func keyList(n int) [][]byte {
+	ks := make([][]byte, n)
+	for i := range ks {
+		ks[i] = []byte(fmt.Sprintf("bloom-key-%08d", i))
+	}
+	return ks
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	ks := keyList(5000)
+	f := New(ks, 10)
+	for _, k := range ks {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	check := func(raw [][]byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		f := New(raw, 10)
+		for _, k := range raw {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	ks := keyList(10000)
+	f := New(ks, 10)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		k := []byte(fmt.Sprintf("absent-key-%08d", i))
+		if f.MayContain(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 10 bits/key targets ~1%; allow generous slack.
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+	t.Logf("false positive rate: %.4f", rate)
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(nil, 10)
+	if f.MayContain([]byte("anything")) {
+		// An empty filter has all bits clear: must reject.
+		t.Fatal("empty filter claimed containment")
+	}
+}
+
+func TestTinyFilterIsSafe(t *testing.T) {
+	var f Filter
+	if f.MayContain([]byte("x")) {
+		t.Fatal("nil filter must reject (treated as no filter by caller)")
+	}
+	if (Filter{0xff}).MayContain([]byte("x")) {
+		t.Fatal("1-byte filter is malformed; must reject")
+	}
+}
+
+func TestReservedKEncodingIsPermissive(t *testing.T) {
+	// k > 30 is a reserved encoding: must return true (may contain).
+	f := Filter{0x00, 0x00, 31}
+	if !f.MayContain([]byte("x")) {
+		t.Fatal("reserved encoding must be permissive")
+	}
+}
+
+func TestBitsPerKeyClamped(t *testing.T) {
+	ks := keyList(100)
+	f := New(ks, 0) // clamps to 1
+	for _, k := range ks {
+		if !f.MayContain(k) {
+			t.Fatal("false negative with clamped bits/key")
+		}
+	}
+}
+
+func TestHashMatchesKnownAlgorithm(t *testing.T) {
+	// Hash must be deterministic and spread: sanity-check stability
+	// across lengths including the <4-byte tail cases.
+	inputs := [][]byte{nil, {1}, {1, 2}, {1, 2, 3}, {1, 2, 3, 4}, {1, 2, 3, 4, 5}}
+	seen := map[uint32]bool{}
+	for _, in := range inputs {
+		h := Hash(in)
+		if seen[h] {
+			t.Fatalf("hash collision among trivial inputs: %x", h)
+		}
+		seen[h] = true
+		if h != Hash(in) {
+			t.Fatal("hash not deterministic")
+		}
+	}
+}
+
+func TestHashLittleEndianChunks(t *testing.T) {
+	// Verify the 4-byte chunk path actually consumes 4 bytes LE.
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint32(b, 0xdeadbeef)
+	binary.LittleEndian.PutUint32(b[4:], 0xcafebabe)
+	if Hash(b) == Hash(b[:4]) {
+		t.Fatal("8-byte input hashed same as its prefix")
+	}
+}

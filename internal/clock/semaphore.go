@@ -1,0 +1,50 @@
+package clock
+
+// Semaphore is a counting semaphore built on a Clock's Mutex and Cond,
+// so acquiring processes park correctly under both real and simulated
+// clocks. It is used to model bounded resources such as a device's
+// internal parallelism.
+type Semaphore struct {
+	m     Mutex
+	c     Cond
+	avail int
+	// waiters counts processes currently blocked in Acquire. It is
+	// exposed for instrumentation (e.g. device queue depth).
+	waiters int
+}
+
+// NewSemaphore returns a semaphore with n available slots on clk.
+func NewSemaphore(clk Clock, n int) *Semaphore {
+	if n <= 0 {
+		panic("clock: semaphore size must be positive")
+	}
+	m := clk.NewMutex()
+	return &Semaphore{m: m, c: clk.NewCond(m), avail: n}
+}
+
+// Acquire takes one slot, blocking until one is available.
+func (s *Semaphore) Acquire() {
+	s.m.Lock()
+	for s.avail == 0 {
+		s.waiters++
+		s.c.Wait()
+		s.waiters--
+	}
+	s.avail--
+	s.m.Unlock()
+}
+
+// Release returns one slot.
+func (s *Semaphore) Release() {
+	s.m.Lock()
+	s.avail++
+	s.c.Signal()
+	s.m.Unlock()
+}
+
+// Waiters reports how many processes are currently blocked in Acquire.
+func (s *Semaphore) Waiters() int {
+	s.m.Lock()
+	defer s.m.Unlock()
+	return s.waiters
+}

@@ -1,0 +1,111 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"xpointdb/internal/sim"
+)
+
+var t0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNilModelChargesNothing(t *testing.T) {
+	k := sim.New(t0)
+	var m *Model
+	k.Run(func() {
+		m.ChargeCompares(k, 100)
+		m.ChargeBloom(k, 5)
+		m.ChargeTableProbe(k)
+		m.ChargeMemInsert(k, 10)
+		m.ChargeCompactEntries(k, 1000)
+		m.ChargeWALAppend(k, 4096)
+	})
+	if k.Elapsed() != 0 {
+		t.Fatalf("nil model charged %v", k.Elapsed())
+	}
+}
+
+func TestChargesScaleWithCounts(t *testing.T) {
+	m := Default()
+	k := sim.New(t0)
+	k.Run(func() {
+		m.ChargeCompares(k, 10)
+	})
+	ten := k.Elapsed()
+	if ten != 10*m.PerCompare {
+		t.Fatalf("10 compares charged %v", ten)
+	}
+
+	k2 := sim.New(t0)
+	k2.Run(func() {
+		m.ChargeCompares(k2, 20)
+	})
+	if k2.Elapsed() != 2*ten {
+		t.Fatalf("20 compares charged %v, want %v", k2.Elapsed(), 2*ten)
+	}
+}
+
+func TestZeroAndNegativeCountsFree(t *testing.T) {
+	m := Default()
+	k := sim.New(t0)
+	k.Run(func() {
+		m.ChargeCompares(k, 0)
+		m.ChargeBloom(k, -5)
+		m.ChargeCompactEntries(k, 0)
+	})
+	if k.Elapsed() != 0 {
+		t.Fatalf("zero-count charges took %v", k.Elapsed())
+	}
+}
+
+func TestL0SearchCalibration(t *testing.T) {
+	// Finding #2 micro-numbers: a lookup inside one Level-0 table
+	// costs ≈8.5 µs for a 32 MB file (≈32k entries ⇒ ~30 binary
+	// search comparisons) and ≈9.7 µs for 256 MB. Check the default
+	// model lands in that range.
+	m := Default()
+	cost := func(entries int) time.Duration {
+		cmps := 0
+		for n := entries; n > 1; n /= 2 {
+			cmps++
+		}
+		return m.PerTableProbe + time.Duration(cmps)*m.PerCompare + m.PerBloomProbe
+	}
+	c32 := cost(32 * 1024)
+	c256 := cost(256 * 1024)
+	if c32 < 4*time.Microsecond || c32 > 14*time.Microsecond {
+		t.Fatalf("32MB-table search cost %v, want ≈8.5µs", c32)
+	}
+	if c256 <= c32 {
+		t.Fatal("larger table must cost more")
+	}
+	if c256 > 16*time.Microsecond {
+		t.Fatalf("256MB-table search cost %v, want ≈9.7µs", c256)
+	}
+}
+
+func TestCompactionThroughputCeiling(t *testing.T) {
+	// PerEntryCompact must correspond to a ~100-300 MB/s single
+	// thread ceiling on 1 KB entries.
+	m := Default()
+	bytesPerSec := float64(1024) / m.PerEntryCompact.Seconds()
+	if bytesPerSec < 100e6 || bytesPerSec > 300e6 {
+		t.Fatalf("compaction ceiling %.0f MB/s outside [100,300]", bytesPerSec/1e6)
+	}
+}
+
+func TestWALAppendCost(t *testing.T) {
+	m := Default()
+	k := sim.New(t0)
+	k.Run(func() {
+		m.ChargeWALAppend(k, 1024)
+	})
+	got := k.Elapsed()
+	want := m.PerWALAppend + 1024*m.PerWALByte
+	if got != want {
+		t.Fatalf("WAL append charged %v, want %v", got, want)
+	}
+	if got < 2*time.Microsecond || got > 20*time.Microsecond {
+		t.Fatalf("1KB WAL append %v outside syscall-ish range", got)
+	}
+}

@@ -1,0 +1,50 @@
+package engine
+
+// Case study B: dynamic Level-0 management. The paper's observation
+// (Finding #2 / Analysis #2) is that, for a fixed aggregate Level-0
+// volume V, fewer/larger L0 files favor reads (fewer tables to probe)
+// while more/smaller files favor writes (shallower memtable inserts,
+// shorter flushes). The adaptive worker measures the read/write mix
+// over a sliding window and retunes the memtable budget — and with it
+// the L0 file size — between V/ManyFiles (write-intensive) and
+// V/FewFiles (read-intensive).
+
+// adaptiveWorker runs while the DB is open, re-evaluating each window.
+func (db *DB) adaptiveWorker() {
+	defer func() {
+		db.mu.Lock()
+		db.liveWorkers--
+		db.bgCond.Broadcast()
+		db.mu.Unlock()
+	}()
+	for {
+		db.clk.Sleep(db.opts.AdaptiveWindow)
+		db.mu.Lock()
+		closed := db.closed
+		db.mu.Unlock()
+		if closed {
+			return
+		}
+
+		reads := db.windowReads.Swap(0)
+		writes := db.windowWrites.Swap(0)
+		total := reads + writes
+		if total == 0 {
+			continue
+		}
+		writeFrac := float64(writes) / float64(total)
+
+		var target int64
+		if writeFrac > db.opts.AdaptiveWriteIntensive {
+			// Write-intensive: many small files.
+			target = db.opts.AdaptiveL0Aggregate / int64(db.opts.AdaptiveL0ManyFiles)
+		} else {
+			// Read-intensive: few large files.
+			target = db.opts.AdaptiveL0Aggregate / int64(db.opts.AdaptiveL0FewFiles)
+		}
+		if target != db.MemtableBudget() {
+			db.opts.logf("adaptive L0: writeFrac=%.2f -> memtable budget %d", writeFrac, target)
+			db.SetMemtableBudget(target)
+		}
+	}
+}

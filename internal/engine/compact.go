@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+
+	"xpointdb/internal/iterator"
+	"xpointdb/internal/keys"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/sstable"
+)
+
+// compaction describes one picked compaction.
+type compaction struct {
+	level       int // input level
+	outputLevel int
+	inputs      []*manifest.FileMeta // files at level
+	overlaps    []*manifest.FileMeta // files at outputLevel
+	// base is the version the pick was made against; used for
+	// tombstone elision checks.
+	base *manifest.Version
+	// snaps holds the live snapshot boundaries (ascending) at pick
+	// time; the merge keeps the newest version per stripe.
+	snaps []uint64
+}
+
+// targetLevelBytes returns the size target for a level ≥ 1.
+func (db *DB) targetLevelBytes(level int) int64 {
+	t := db.opts.BaseLevelBytes
+	for l := 1; l < level; l++ {
+		t *= int64(db.opts.LevelMultiplier)
+	}
+	return t
+}
+
+// pickCompactionLocked selects the most urgent compaction, or nil.
+// Called with db.mu held.
+func (db *DB) pickCompactionLocked() *compaction {
+	v := db.vs.Current()
+
+	// Level-0: file-count triggered (the paper's central pressure
+	// source — L0 files accumulate per flush and are merged into L1).
+	if v.NumFiles(0) >= db.opts.L0CompactionTrigger {
+		inputs := append([]*manifest.FileMeta(nil), v.Files[0]...)
+		smallest, largest := keyRangeOf(inputs)
+		return &compaction{
+			level:       0,
+			outputLevel: 1,
+			inputs:      inputs,
+			overlaps:    v.Overlaps(1, smallest, largest),
+			base:        v,
+			snaps:       db.liveSnapshotSeqsLocked(),
+		}
+	}
+
+	// Deeper levels: size triggered, worst score first.
+	bestLevel, bestScore := -1, 1.0
+	for l := 1; l < manifest.NumLevels-1; l++ {
+		if v.NumFiles(l) == 0 {
+			continue
+		}
+		score := float64(v.LevelBytes(l)) / float64(db.targetLevelBytes(l))
+		if score > bestScore {
+			bestScore, bestLevel = score, l
+		}
+	}
+	if bestLevel < 0 {
+		return nil
+	}
+	files := v.Files[bestLevel]
+	idx := db.compactCursor[bestLevel] % len(files)
+	db.compactCursor[bestLevel]++
+	in := files[idx]
+	smallest, largest := keyRangeOf([]*manifest.FileMeta{in})
+	return &compaction{
+		level:       bestLevel,
+		outputLevel: bestLevel + 1,
+		inputs:      []*manifest.FileMeta{in},
+		overlaps:    v.Overlaps(bestLevel+1, smallest, largest),
+		base:        v,
+		snaps:       db.liveSnapshotSeqsLocked(),
+	}
+}
+
+func keyRangeOf(files []*manifest.FileMeta) (smallest, largest []byte) {
+	for _, f := range files {
+		us, ul := keys.UserKey(f.Smallest), keys.UserKey(f.Largest)
+		if smallest == nil || bytes.Compare(us, smallest) < 0 {
+			smallest = us
+		}
+		if largest == nil || bytes.Compare(ul, largest) > 0 {
+			largest = ul
+		}
+	}
+	return smallest, largest
+}
+
+// compactWorker is the background compaction process (RocksDB's
+// low-priority pool, concurrency 1 in this reproduction).
+func (db *DB) compactWorker() {
+	db.mu.Lock()
+	for {
+		var c *compaction
+		for !db.closed {
+			if c = db.pickCompactionLocked(); c != nil {
+				break
+			}
+			db.bgCond.Wait()
+		}
+		if db.closed {
+			break
+		}
+		db.compacting = true
+		db.mu.Unlock()
+
+		err := db.runCompaction(c)
+
+		db.mu.Lock()
+		db.compacting = false
+		if err != nil {
+			db.opts.logf("compaction L%d→L%d failed: %v", c.level, c.outputLevel, err)
+			// Timed backoff; see flushWorker for the livelock note.
+			db.mu.Unlock()
+			db.clk.Sleep(flushRetryBackoff)
+			db.mu.Lock()
+		} else {
+			db.metrics.Compactions.Add(1)
+			db.bgCond.Broadcast()
+		}
+		db.mu.Unlock()
+
+		if err == nil {
+			// Rate feedback for Algorithm 1: compaction that leaves
+			// L0 above the slowdown line is "behind" (Prev ≤ Esti).
+			if db.stallActive() {
+				db.mu.Lock()
+				behind := db.vs.Current().NumFiles(0) >= db.opts.L0SlowdownTrigger
+				db.mu.Unlock()
+				db.controller.AdjustRate(behind)
+			}
+			db.deleteObsoleteFiles()
+		}
+		db.mu.Lock()
+	}
+	db.liveWorkers--
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+}
+
+// runCompaction merges c's inputs into new files at c.outputLevel and
+// commits the edit. Called without db.mu.
+func (db *DB) runCompaction(c *compaction) error {
+	all := make([]*manifest.FileMeta, 0, len(c.inputs)+len(c.overlaps))
+	all = append(all, c.inputs...)
+	all = append(all, c.overlaps...)
+
+	// Inputs are read with one sequential bulk read per file
+	// (compaction readahead): the device is charged a streaming
+	// transfer instead of a random 4 KiB read per block, matching
+	// how real compactions read.
+	var readBytes int64
+	iters := make([]iterator.Iterator, 0, len(all))
+	for _, f := range all {
+		r, err := db.openCompactionInput(f)
+		if err != nil {
+			return err
+		}
+		iters = append(iters, r.NewIter())
+		readBytes += f.Size
+	}
+	merged := iterator.NewMerging(iters...)
+	defer merged.Close()
+
+	// Every allocated output number stays in pendingOutputs until the
+	// edit is durably installed (or the compaction abandons it), so
+	// the obsolete-file sweep cannot reap an output mid-build.
+	var outNums []uint64
+	defer func() {
+		db.mu.Lock()
+		for _, n := range outNums {
+			delete(db.pendingOutputs, n)
+		}
+		db.mu.Unlock()
+	}()
+
+	var (
+		outputs     []*manifest.FileMeta
+		builder     *sstable.Builder
+		builderFile interface {
+			Sync() error
+			Close() error
+		}
+		curNum      uint64
+		entries     int
+		lastUserKey []byte
+		haveLast    bool
+		writtenByte int64
+	)
+
+	finishOutput := func() error {
+		if builder == nil {
+			return nil
+		}
+		size, err := builder.Finish()
+		if err != nil {
+			return err
+		}
+		if err := builderFile.Sync(); err != nil {
+			return err
+		}
+		if err := builderFile.Close(); err != nil {
+			return err
+		}
+		outputs = append(outputs, &manifest.FileMeta{
+			Num:      curNum,
+			Size:     size,
+			Smallest: builder.Smallest(),
+			Largest:  builder.Largest(),
+		})
+		writtenByte += size
+		builder = nil
+		return nil
+	}
+
+	// prevStripe is the snapshot stripe of the newest retained (or
+	// elided-tombstone) version of lastUserKey; -1 when no version of
+	// the current key has been seen yet.
+	prevStripe := -1
+	for merged.SeekToFirst(); merged.Valid(); merged.Next() {
+		ikey := merged.Key()
+		userKey := keys.UserKey(ikey)
+		entries++
+		if db.cost != nil && entries%compactChargeBatch == 0 {
+			db.cost.ChargeCompactEntries(db.clk, compactChargeBatch)
+		}
+
+		if !haveLast || !bytes.Equal(userKey, lastUserKey) {
+			lastUserKey = append(lastUserKey[:0], userKey...)
+			haveLast = true
+			prevStripe = -1
+		}
+
+		// Keep the newest version of the key within each snapshot
+		// stripe; versions shadowed by a newer one in the same
+		// stripe are invisible to every snapshot and can go.
+		seq, kind := keys.Trailer(ikey)
+		stripe := stripeOf(c.snaps, seq)
+		if stripe == prevStripe {
+			continue
+		}
+		prevStripe = stripe
+
+		if kind == keys.KindDelete && stripe == 0 && db.isBaseLevel(c, userKey) {
+			// Tombstone in the lowest stripe with nothing
+			// underneath: elide. It still counts as the stripe's
+			// retained version (older same-stripe versions stay
+			// dropped), which preserves its delete semantics.
+			continue
+		}
+
+		if builder == nil {
+			db.mu.Lock()
+			curNum = db.vs.AllocFileNum()
+			db.pendingOutputs[curNum] = true
+			db.mu.Unlock()
+			outNums = append(outNums, curNum)
+			f, err := db.fs.Create(manifest.SSTName(curNum))
+			if err != nil {
+				return fmt.Errorf("engine: create compaction output: %w", err)
+			}
+			builderFile = f
+			builder = sstable.NewBuilder(f, sstable.BuilderOptions{
+				BlockSize:       db.opts.BlockSize,
+				BloomBitsPerKey: db.opts.BloomBitsPerKey,
+				Compression:     db.opts.Compression,
+			})
+		}
+		if err := builder.Add(ikey, merged.Value()); err != nil {
+			return err
+		}
+		if builder.EstimatedSize() >= db.opts.TargetFileSize {
+			if err := finishOutput(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := merged.Error(); err != nil {
+		return err
+	}
+	if err := finishOutput(); err != nil {
+		return err
+	}
+	if db.cost != nil {
+		db.cost.ChargeCompactEntries(db.clk, entries%compactChargeBatch)
+	}
+
+	edit := &manifest.Edit{}
+	for _, f := range c.inputs {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.level, Num: f.Num})
+	}
+	for _, f := range c.overlaps {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.outputLevel, Num: f.Num})
+	}
+	for _, f := range outputs {
+		edit.Added = append(edit.Added, manifest.AddedFile{Level: c.outputLevel, Meta: f})
+	}
+	if err := db.commitEdit(edit); err != nil {
+		return err
+	}
+	db.metrics.CompactionBytesRead.Add(readBytes)
+	db.metrics.CompactionBytesWritten.Add(writtenByte)
+	db.metrics.CompactionEntriesMerged.Add(int64(entries))
+	db.opts.logf("compacted L%d→L%d: %d in (%d B), %d out (%d B)",
+		c.level, c.outputLevel, len(all), readBytes, len(outputs), writtenByte)
+	return nil
+}
+
+// isBaseLevel reports whether no level deeper than the compaction's
+// output overlaps userKey, so a tombstone can be dropped.
+func (db *DB) isBaseLevel(c *compaction, userKey []byte) bool {
+	for l := c.outputLevel + 1; l < manifest.NumLevels; l++ {
+		for _, f := range c.base.Files[l] {
+			if f.ContainsUserKey(userKey) {
+				return false
+			}
+		}
+	}
+	return true
+}

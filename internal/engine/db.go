@@ -1,0 +1,405 @@
+// Package engine implements the LSM-tree key-value store under test:
+// a from-scratch reproduction of the RocksDB design points analyzed by
+// the paper — memtable + WAL write path with batch groups and
+// pipelined writes (Algorithm 2), Level-0 accumulation with
+// slowdown/stop thresholds and the Algorithm 1 write controller,
+// background flush and compaction, Bloom filters and a block cache —
+// instrumented so every figure of the paper can be regenerated.
+//
+// Locking discipline: db.mu (a clock.Mutex) protects all mutable
+// state. It is never held across I/O or any clock.Sleep; condition
+// variables created from the engine clock are used for every
+// cross-process wait, so the engine runs unchanged under the real
+// clock or the simulation kernel.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"xpointdb/internal/cache"
+	"xpointdb/internal/clock"
+	"xpointdb/internal/costmodel"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/memtable"
+	"xpointdb/internal/throttle"
+	"xpointdb/internal/vfs"
+	"xpointdb/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("engine: database is closed")
+
+// ErrNotFound is returned by Get when the key does not exist.
+var ErrNotFound = errors.New("engine: key not found")
+
+// flushedMem is an immutable memtable queued for flushing, together
+// with the WAL file that covers it and the sequence watermark at its
+// rotation: once this memtable is flushed, every sequence ≤ maxSeq is
+// durable in SSTs (rotation waits for in-flight groups, so no later
+// memtable holds earlier sequences). The watermark becomes the
+// MANIFEST's LastSeq, which recovery uses both to skip already-flushed
+// WAL batches and to restore read visibility.
+type flushedMem struct {
+	mem    *memtable.Memtable
+	walNum uint64
+	maxSeq uint64
+}
+
+// DB is the key-value store.
+type DB struct {
+	opts       Options
+	clk        clock.Clock
+	fs         vfs.FS
+	walFS      vfs.FS
+	cost       *costmodel.Model
+	metrics    *Metrics
+	controller *throttle.Controller
+	blocks     *cache.Cache
+	tables     *tableCache
+
+	mu     clock.Mutex
+	bgCond clock.Cond // broadcast on any background state change
+
+	mem  *memtable.Memtable
+	imms []flushedMem
+
+	walWriter *wal.Writer
+	walFile   vfs.File
+	walNum    uint64
+
+	vs           *manifest.Set
+	manifestBusy bool
+
+	// write queue state (write.go)
+	writers       []*writer
+	pendingGroups []*commitGroup
+
+	lastSeq    uint64 // newest assigned sequence number (under mu)
+	visibleSeq atomic.Uint64
+
+	flushing      bool
+	compacting    bool
+	compactCursor [manifest.NumLevels]int
+	stallState    throttle.State
+	closed        bool
+	liveWorkers   int
+	memBudget     int64 // current memtable size target (adaptive L0)
+
+	// pendingOutputs tracks SST file numbers that exist (or are
+	// being written) but are not yet committed to a version, so the
+	// obsolete-file sweep does not delete works in progress.
+	pendingOutputs map[uint64]bool
+
+	// snapshots maps live snapshots to their pinned sequence
+	// numbers; compaction preserves versions at these boundaries.
+	snapshots map[*Snapshot]uint64
+
+	// adaptive L0 window counters (atomics; adaptive.go)
+	windowReads  atomic.Int64
+	windowWrites atomic.Int64
+}
+
+// Open opens (creating if necessary) a database on opts.FS.
+func Open(opts Options) (*DB, error) {
+	if opts.FS == nil {
+		return nil, errors.New("engine: Options.FS is required")
+	}
+	opts = opts.withDefaults()
+	clk := opts.Clock
+
+	db := &DB{
+		opts:           opts,
+		clk:            clk,
+		fs:             opts.FS,
+		walFS:          opts.WALFS,
+		cost:           opts.CostModel,
+		metrics:        newMetrics(clk),
+		memBudget:      opts.MemtableSize,
+		pendingOutputs: make(map[uint64]bool),
+		snapshots:      make(map[*Snapshot]uint64),
+	}
+	if db.walFS == nil {
+		db.walFS = db.fs
+	}
+	if opts.BlockCacheSize > 0 {
+		db.blocks = cache.New(opts.BlockCacheSize)
+	}
+	db.tables = newTableCache(clk, db.fs, db.blocks)
+	db.controller = throttle.New(clk, throttle.Config{
+		Mode:             opts.ThrottleMode,
+		DelayedWriteRate: opts.DelayedWriteRate,
+		FloorRate:        opts.TwoStageFloorRate,
+	})
+	db.mu = clk.NewMutex()
+	db.bgCond = clk.NewCond(db.mu)
+
+	if err := db.openOrRecover(); err != nil {
+		return nil, err
+	}
+
+	db.mu.Lock()
+	db.liveWorkers = 2
+	db.mu.Unlock()
+	clk.Go("flush-worker", db.flushWorker)
+	clk.Go("compact-worker", db.compactWorker)
+	if opts.AdaptiveL0 {
+		db.mu.Lock()
+		db.liveWorkers++
+		db.mu.Unlock()
+		clk.Go("adaptive-l0", db.adaptiveWorker)
+	}
+
+	db.mu.Lock()
+	db.updateStallStateLocked()
+	db.mu.Unlock()
+	return db, nil
+}
+
+// openOrRecover builds the initial state: fresh DB or manifest + WAL
+// replay.
+func (db *DB) openOrRecover() error {
+	names, err := db.fs.List()
+	if err != nil {
+		return fmt.Errorf("engine: list db dir: %w", err)
+	}
+	hasCurrent := false
+	for _, n := range names {
+		if n == manifest.CurrentName {
+			hasCurrent = true
+			break
+		}
+	}
+
+	if hasCurrent {
+		db.vs, err = manifest.Recover(db.fs)
+		if err != nil {
+			return err
+		}
+		if err := db.replayWALs(); err != nil {
+			return err
+		}
+	} else {
+		db.vs, err = manifest.Create(db.fs)
+		if err != nil {
+			return err
+		}
+	}
+	db.lastSeq = db.vs.LastSeq
+	db.visibleSeq.Store(db.lastSeq)
+	db.mem = memtable.New(db.memBudget)
+	return db.newWALLocked()
+}
+
+// newWALLocked rotates to a fresh WAL file. Despite the name it is
+// called during open (no lock needed) and from the switch path, which
+// must NOT hold db.mu (file creation charges the device).
+func (db *DB) newWALLocked() error {
+	if db.opts.DisableWAL {
+		return nil
+	}
+	num := db.vs.AllocFileNum()
+	f, err := db.walFS.Create(manifest.WALName(num))
+	if err != nil {
+		return fmt.Errorf("engine: create wal: %w", err)
+	}
+	db.walFile = f
+	db.walWriter = wal.NewWriter(f)
+	db.walNum = num
+	return nil
+}
+
+// replayWALs re-applies every surviving WAL in file-number order.
+func (db *DB) replayWALs() error {
+	names, err := db.walFS.List()
+	if err != nil {
+		return err
+	}
+	type lognum struct {
+		name string
+		num  uint64
+	}
+	var logs []lognum
+	for _, n := range names {
+		if t, num := manifest.ParseName(n); t == manifest.TypeWAL && num >= db.vs.LogNum {
+			logs = append(logs, lognum{n, num})
+		}
+	}
+	sort.Slice(logs, func(i, j int) bool { return logs[i].num < logs[j].num })
+
+	mem := memtable.New(db.memBudget)
+	maxSeq := db.vs.LastSeq
+	for _, lg := range logs {
+		f, err := db.walFS.Open(lg.name)
+		if err != nil {
+			return err
+		}
+		seq, err := replayLogInto(f, mem, db.vs.LastSeq)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("engine: replay %s: %w", lg.name, err)
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	db.vs.MarkSeq(maxSeq)
+	if !mem.Empty() {
+		// Flush the recovered memtable straight to L0 so recovery
+		// leaves no WAL dependencies behind.
+		if err := db.flushMemToL0(mem, nil); err != nil {
+			return err
+		}
+	}
+	// Old logs are now fully covered by SSTs; note it and clean up.
+	logNum := db.vs.NextFileNum
+	if err := db.vs.LogAndApply(&manifest.Edit{LogNum: &logNum}); err != nil {
+		return err
+	}
+	for _, lg := range logs {
+		_ = db.walFS.Remove(lg.name)
+	}
+	return nil
+}
+
+// Close stops background work and releases all files. Pending writes
+// must have completed; new operations fail with ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	// Wait for the write queue to drain.
+	for len(db.writers) > 0 || len(db.pendingGroups) > 0 {
+		db.bgCond.Wait()
+	}
+	db.closed = true
+	db.bgCond.Broadcast()
+	for db.liveWorkers > 0 {
+		db.bgCond.Wait()
+	}
+	db.mu.Unlock()
+
+	if db.walFile != nil {
+		_ = db.walWriter.Sync()
+		_ = db.walFile.Close()
+	}
+	db.tables.close()
+	return db.vs.Close()
+}
+
+// Metrics returns the engine's live instrumentation.
+func (db *DB) Metrics() *Metrics { return db.metrics }
+
+// Controller exposes the write controller (for experiment inspection).
+func (db *DB) Controller() *throttle.Controller { return db.controller }
+
+// NumLevelFiles returns the file count at the given level.
+func (db *DB) NumLevelFiles(level int) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.vs.Current().NumFiles(level)
+}
+
+// LevelBytes returns total SST bytes at the given level.
+func (db *DB) LevelBytes(level int) int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.vs.Current().LevelBytes(level)
+}
+
+// DebugLayout renders the LSM layout.
+func (db *DB) DebugLayout() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.vs.Current().DebugString()
+}
+
+// MemtableBudget returns the current memtable size target.
+func (db *DB) MemtableBudget() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.memBudget
+}
+
+// SetMemtableBudget adjusts the memtable size target; it takes effect
+// at the next memtable switch (used by adaptive L0 management).
+func (db *DB) SetMemtableBudget(n int64) {
+	if n <= 0 {
+		return
+	}
+	db.mu.Lock()
+	db.memBudget = n
+	db.mu.Unlock()
+}
+
+// updateStallStateLocked recomputes the stall condition from Level-0
+// pressure and installs it in the controller. Callers hold db.mu.
+func (db *DB) updateStallStateLocked() {
+	l0 := db.vs.Current().NumFiles(0)
+	var s throttle.State
+	mid := (db.opts.L0SlowdownTrigger + db.opts.L0StopTrigger) / 2
+	switch {
+	case l0 >= db.opts.L0StopTrigger:
+		s = throttle.StateStopped
+	case db.opts.ThrottleMode == throttle.ModeTwoStage && l0 >= mid:
+		s = throttle.StateAggressive
+	case l0 >= db.opts.L0SlowdownTrigger:
+		s = throttle.StateDelayed
+	default:
+		s = throttle.StateClear
+	}
+	if s != db.stallState {
+		db.opts.logf("stall state %v -> %v (L0=%d)", db.stallState, s, l0)
+		db.stallState = s
+		db.controller.SetState(s)
+		if s != throttle.StateStopped {
+			// Unblock writers waiting on a stop condition.
+			db.bgCond.Broadcast()
+		}
+	}
+}
+
+// deleteObsoleteFiles removes SSTs no longer referenced, WALs older
+// than the live log, and stale manifests. Call WITHOUT db.mu held.
+//
+// Ordering is what makes this safe against concurrent flush and
+// compaction: the directory is listed FIRST, then the live set
+// (current version plus pendingOutputs) is snapshotted. Any file
+// committed to the version after the listing was created after the
+// listing too, so it cannot appear in it; any file being written is
+// protected by pendingOutputs.
+func (db *DB) deleteObsoleteFiles() {
+	names, err := db.fs.List()
+	if err != nil {
+		return
+	}
+	walNames, err := db.walFS.List()
+	if err != nil {
+		return
+	}
+
+	db.mu.Lock()
+	live := db.vs.LiveFileNums()
+	for num := range db.pendingOutputs {
+		live[num] = true
+	}
+	logNum := db.vs.LogNum
+	curWAL := db.walNum
+	db.mu.Unlock()
+
+	for _, n := range names {
+		if t, num := manifest.ParseName(n); t == manifest.TypeSST && !live[num] {
+			db.tables.evict(num)
+			_ = db.fs.Remove(n)
+		}
+	}
+	for _, n := range walNames {
+		if t, num := manifest.ParseName(n); t == manifest.TypeWAL && num < logNum && num != curWAL {
+			_ = db.walFS.Remove(n)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"xpointdb/internal/iterator"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/sstable"
+	"xpointdb/internal/throttle"
+)
+
+// flushWorker is the background process that turns immutable memtables
+// into Level-0 SSTs (RocksDB's high-priority flush pool).
+func (db *DB) flushWorker() {
+	db.mu.Lock()
+	for {
+		for !db.closed && len(db.imms) == 0 {
+			db.bgCond.Wait()
+		}
+		if db.closed {
+			// Unflushed immutables remain covered by their WALs and
+			// are recovered on the next open.
+			break
+		}
+		fm := db.imms[0]
+		num := db.vs.AllocFileNum()
+		db.pendingOutputs[num] = true
+		db.flushing = true
+		db.mu.Unlock()
+
+		meta, err := db.buildTable(num, newMemIter(fm.mem))
+		if err == nil {
+			// The new L0 file supersedes fm's WAL; logs strictly
+			// older than the next surviving memtable's WAL can go.
+			db.mu.Lock()
+			logNum := db.walNum
+			if len(db.imms) > 1 {
+				logNum = db.imms[1].walNum
+			}
+			db.mu.Unlock()
+			seq := fm.maxSeq
+			edit := &manifest.Edit{
+				LogNum:  &logNum,
+				LastSeq: &seq,
+				Added:   []manifest.AddedFile{{Level: 0, Meta: meta}},
+			}
+			err = db.commitEdit(edit)
+		}
+
+		db.mu.Lock()
+		db.flushing = false
+		delete(db.pendingOutputs, num)
+		if err != nil {
+			db.opts.logf("flush failed: %v", err)
+			// Leave the immutable queued and retry after a timed
+			// backoff. (An untimed cond wait here can livelock with
+			// a write leader stalled on the full immutable queue:
+			// each would wait for the other's signal.)
+			db.mu.Unlock()
+			db.clk.Sleep(flushRetryBackoff)
+		} else {
+			db.imms = db.imms[1:]
+			db.metrics.Flushes.Add(1)
+			db.metrics.FlushBytes.Add(meta.Size)
+			// Algorithm 1 rate feedback: a completed flush grew L0;
+			// if the tree is in a stall zone, compaction is behind.
+			behind := db.vs.Current().NumFiles(0) >= db.opts.L0SlowdownTrigger
+			db.bgCond.Broadcast()
+			db.mu.Unlock()
+			if db.stallActive() {
+				db.controller.AdjustRate(behind)
+			}
+			db.deleteObsoleteFiles()
+		}
+		db.mu.Lock()
+	}
+	db.liveWorkers--
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+}
+
+// compactChargeBatch is how many merged entries of CPU cost are
+// charged at a time during flush and compaction.
+const compactChargeBatch = 128
+
+// flushRetryBackoff paces background retries after flush or compaction
+// failures (transient filesystem errors).
+const flushRetryBackoff = 10 * time.Millisecond
+
+// stallActive reports whether any throttling state is in force.
+func (db *DB) stallActive() bool {
+	s := db.controller.CurrentState()
+	return s == throttle.StateDelayed || s == throttle.StateAggressive
+}
+
+// buildTable writes all entries of src into SST file num. Called
+// without db.mu.
+func (db *DB) buildTable(num uint64, src iterator.Iterator) (*manifest.FileMeta, error) {
+	name := manifest.SSTName(num)
+	f, err := db.fs.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("engine: create %s: %w", name, err)
+	}
+	b := sstable.NewBuilder(f, sstable.BuilderOptions{
+		BlockSize:       db.opts.BlockSize,
+		BloomBitsPerKey: db.opts.BloomBitsPerKey,
+		Compression:     db.opts.Compression,
+	})
+	entries := 0
+	for src.SeekToFirst(); src.Valid(); src.Next() {
+		if err := b.Add(src.Key(), src.Value()); err != nil {
+			f.Close()
+			return nil, err
+		}
+		entries++
+		// Charge merge CPU as we go so the flush occupies virtual
+		// time while it runs, not as a lump at the end.
+		if db.cost != nil && entries%compactChargeBatch == 0 {
+			db.cost.ChargeCompactEntries(db.clk, compactChargeBatch)
+		}
+	}
+	if err := src.Error(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	size, err := b.Finish()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if db.cost != nil {
+		db.cost.ChargeCompactEntries(db.clk, entries%compactChargeBatch)
+	}
+	return &manifest.FileMeta{
+		Num:      num,
+		Size:     size,
+		Smallest: b.Smallest(),
+		Largest:  b.Largest(),
+	}, nil
+}
+
+// commitEdit durably applies a version edit: manifest I/O outside
+// db.mu, serialized by manifestBusy. Called without db.mu.
+func (db *DB) commitEdit(edit *manifest.Edit) error {
+	db.mu.Lock()
+	for db.manifestBusy {
+		db.bgCond.Wait()
+	}
+	db.manifestBusy = true
+	payload := db.vs.Prepare(edit)
+	db.mu.Unlock()
+
+	err := db.vs.Append(payload)
+
+	db.mu.Lock()
+	db.manifestBusy = false
+	if err == nil {
+		err = db.vs.Install(edit)
+	}
+	db.updateStallStateLocked()
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+	return err
+}

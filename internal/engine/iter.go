@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"bytes"
+
+	"xpointdb/internal/iterator"
+	"xpointdb/internal/keys"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/memtable"
+	"xpointdb/internal/sstable"
+)
+
+// memIter adapts memtable.Iter to iterator.Iterator.
+type memIter struct {
+	it *memtable.Iter
+}
+
+func newMemIter(m *memtable.Memtable) *memIter { return &memIter{it: m.NewIter()} }
+
+func (m *memIter) Valid() bool          { return m.it.Valid() }
+func (m *memIter) SeekGE(target []byte) { m.it.SeekGE(target) }
+func (m *memIter) SeekLT(target []byte) { m.it.SeekLT(target) }
+func (m *memIter) SeekToFirst()         { m.it.SeekToFirst() }
+func (m *memIter) SeekToLast()          { m.it.SeekToLast() }
+func (m *memIter) Next()                { m.it.Next() }
+func (m *memIter) Prev()                { m.it.Prev() }
+func (m *memIter) Key() []byte          { return m.it.Key() }
+func (m *memIter) Value() []byte        { return m.it.Value() }
+func (m *memIter) Error() error         { return nil }
+func (m *memIter) Close() error         { return nil }
+
+var _ iterator.Iterator = (*memIter)(nil)
+
+// Iter is a bidirectional iterator over the database's user keys at a
+// fixed sequence snapshot, merging memtables and all levels and
+// resolving versions and tombstones.
+type Iter struct {
+	merged *iterator.Merging
+	snap   uint64
+
+	key     []byte
+	value   []byte
+	valid   bool
+	forward bool
+	err     error
+}
+
+// NewIter returns an iterator over the current database state. It
+// observes a consistent snapshot: writes committed after creation are
+// invisible.
+func (db *DB) NewIter() (*Iter, error) {
+	return db.newIterAt(db.visibleSeq.Load())
+}
+
+// newIterAt returns an iterator pinned to sequence snapshot snap.
+func (db *DB) newIterAt(snap uint64) (*Iter, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem := db.mem
+	imms := append([]flushedMem(nil), db.imms...)
+	ver := db.vs.Current()
+	db.mu.Unlock()
+
+	var children []iterator.Iterator
+	children = append(children, newMemIter(mem))
+	for i := len(imms) - 1; i >= 0; i-- {
+		children = append(children, newMemIter(imms[i].mem))
+	}
+	// L0: one iterator per file.
+	for _, f := range ver.L0Newest() {
+		r, err := db.tables.get(f)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, r.NewIter())
+	}
+	// L1+: one concat iterator per level. Readers are resolved
+	// eagerly so the iterator holds every file it may touch open —
+	// files deleted by later compactions stay readable through the
+	// held handles (see tableCache.evict).
+	for l := 1; l < manifest.NumLevels; l++ {
+		files := ver.Files[l]
+		if len(files) == 0 {
+			continue
+		}
+		readers := make([]*sstable.Reader, len(files))
+		for i, f := range files {
+			r, err := db.tables.get(f)
+			if err != nil {
+				return nil, err
+			}
+			readers[i] = r
+		}
+		children = append(children, iterator.NewConcat(
+			len(readers),
+			func(i int) (iterator.Iterator, error) { return readers[i].NewIter(), nil },
+			func(i int, target []byte) bool {
+				return keys.Compare(files[i].Largest, target) >= 0
+			},
+		))
+	}
+
+	return &Iter{
+		merged: iterator.NewMerging(children...),
+		snap:   snap,
+	}, nil
+}
+
+// findNextVisible advances the underlying merged stream to the next
+// visible, live user key at or after the current position.
+func (it *Iter) findNextVisible() {
+	it.valid = false
+	for it.merged.Valid() {
+		ikey := it.merged.Key()
+		seq, kind := keys.Trailer(ikey)
+		userKey := keys.UserKey(ikey)
+
+		if seq > it.snap {
+			// Not visible at this snapshot; try the next version of
+			// the same (or a later) key.
+			it.merged.Next()
+			continue
+		}
+		if kind == keys.KindDelete {
+			// Deleted: skip every remaining version of this key.
+			it.skipUserKey(userKey)
+			continue
+		}
+		// Newest visible version and it is a Set: emit.
+		it.key = append(it.key[:0], userKey...)
+		it.value = append(it.value[:0], it.merged.Value()...)
+		it.valid = true
+		return
+	}
+	it.err = it.merged.Error()
+}
+
+// skipUserKey advances past every remaining entry of userKey.
+func (it *Iter) skipUserKey(userKey []byte) {
+	skip := append([]byte(nil), userKey...)
+	for it.merged.Valid() && bytes.Equal(keys.UserKey(it.merged.Key()), skip) {
+		it.merged.Next()
+	}
+}
+
+// findPrevVisible scans the merged stream backward for the previous
+// live, visible user key. Moving backward, the versions of one user
+// key arrive oldest→newest (internal order holds newest first), so the
+// scan keeps overwriting the saved state for the current key group and
+// decides — emit or skip — when the group ends.
+func (it *Iter) findPrevVisible() {
+	it.valid = false
+	var (
+		haveGroup bool
+		groupKey  []byte
+		groupKind keys.Kind
+		groupVal  []byte
+	)
+	emit := func() bool {
+		if haveGroup && groupKind == keys.KindSet {
+			it.key = append(it.key[:0], groupKey...)
+			it.value = append(it.value[:0], groupVal...)
+			it.valid = true
+			return true
+		}
+		return false
+	}
+	for it.merged.Valid() {
+		ikey := it.merged.Key()
+		seq, kind := keys.Trailer(ikey)
+		userKey := keys.UserKey(ikey)
+
+		if haveGroup && !bytes.Equal(userKey, groupKey) {
+			if emit() {
+				// merged stays at an entry of the next-smaller
+				// user key; the following Prev resumes there.
+				return
+			}
+			haveGroup = false
+			continue // reprocess this entry as a new group
+		}
+		if seq <= it.snap {
+			groupKey = append(groupKey[:0], userKey...)
+			groupKind = kind
+			groupVal = append(groupVal[:0], it.merged.Value()...)
+			haveGroup = true
+		}
+		it.merged.Prev()
+	}
+	if !emit() {
+		it.err = it.merged.Error()
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iter) Valid() bool { return it.valid && it.err == nil }
+
+// SeekGE positions at the first user key ≥ key.
+func (it *Iter) SeekGE(key []byte) {
+	it.merged.SeekGE(keys.SearchKey(key, it.snap))
+	it.forward = true
+	it.findNextVisible()
+}
+
+// SeekLT positions at the last user key < key.
+func (it *Iter) SeekLT(key []byte) {
+	// SearchKey(key, MaxSeq) sorts before every entry of key, so
+	// SeekLT on it lands strictly inside the previous user key.
+	it.merged.SeekLT(keys.SearchKey(key, keys.MaxSeq))
+	it.forward = false
+	it.findPrevVisible()
+}
+
+// SeekToFirst positions at the first user key.
+func (it *Iter) SeekToFirst() {
+	it.merged.SeekToFirst()
+	it.forward = true
+	it.findNextVisible()
+}
+
+// SeekToLast positions at the last user key.
+func (it *Iter) SeekToLast() {
+	it.merged.SeekToLast()
+	it.forward = false
+	it.findPrevVisible()
+}
+
+// Next advances to the next user key.
+func (it *Iter) Next() {
+	if !it.Valid() {
+		return
+	}
+	if !it.forward {
+		// The stream sits before the current key after a backward
+		// scan; jump past every version of the current key first.
+		it.merged.SeekGE(keys.Make(it.key, 0, keys.KindDelete))
+		it.forward = true
+	}
+	it.skipUserKey(it.key)
+	it.findNextVisible()
+}
+
+// Prev moves to the previous user key.
+func (it *Iter) Prev() {
+	if !it.Valid() {
+		return
+	}
+	if it.forward {
+		// The stream sits at (or within) the current key after a
+		// forward scan; jump before every version of it first.
+		it.merged.SeekLT(keys.SearchKey(it.key, keys.MaxSeq))
+		it.forward = false
+	}
+	it.findPrevVisible()
+}
+
+// Key returns the current user key (valid until the next move).
+func (it *Iter) Key() []byte { return it.key }
+
+// Value returns the current value (valid until the next move).
+func (it *Iter) Value() []byte { return it.value }
+
+// Error returns the first error encountered.
+func (it *Iter) Error() error { return it.err }
+
+// Close releases the iterator.
+func (it *Iter) Close() error { return it.merged.Close() }

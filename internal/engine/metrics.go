@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpointdb/internal/clock"
+	"xpointdb/internal/histogram"
+)
+
+// Metrics aggregates the engine's instrumentation. All members are
+// safe for concurrent use; read them live or via Snapshot.
+type Metrics struct {
+	clk   clock.Clock
+	start time.Time
+
+	// GetLatency and WriteLatency are end-to-end operation latencies
+	// as the engine observed them (including queueing and stalls) —
+	// the histograms behind Figures 6/7/10/12/14/15/17/20.
+	GetLatency   histogram.Histogram
+	WriteLatency histogram.Histogram
+	// WALLatency isolates the WAL append+sync portion of commits.
+	WALLatency histogram.Histogram
+
+	// Ops and WriteOps drive the throughput timelines (Figs 4/5/18).
+	Ops      *histogram.TimeSeries
+	WriteOps *histogram.TimeSeries
+
+	// WaitingWriters tracks the write-queue depth over time (Fig 16).
+	WaitingWriters Gauge
+
+	// Stall accounting.
+	StallDelayTotal atomic.Int64 // ns spent in controller delays
+	StallStopTotal  atomic.Int64 // ns spent blocked on stop conditions
+	StallStops      atomic.Int64 // number of stop episodes
+
+	// Background work.
+	Flushes                 atomic.Int64
+	FlushBytes              atomic.Int64
+	Compactions             atomic.Int64
+	CompactionBytesRead     atomic.Int64
+	CompactionBytesWritten  atomic.Int64
+	CompactionEntriesMerged atomic.Int64
+
+	// Read-path shape counters.
+	GetHitMemtable  atomic.Int64
+	GetHitImmutable atomic.Int64
+	GetHitL0        atomic.Int64
+	GetHitDeep      atomic.Int64
+	GetMisses       atomic.Int64
+	L0TablesProbed  atomic.Int64
+	BloomSkips      atomic.Int64
+}
+
+func newMetrics(clk clock.Clock) *Metrics {
+	m := &Metrics{clk: clk, start: clk.Now()}
+	m.Ops = histogram.NewTimeSeries(m.start, time.Second)
+	m.WriteOps = histogram.NewTimeSeries(m.start, time.Second)
+	m.WaitingWriters.init(clk)
+	return m
+}
+
+// Start returns when metric collection began.
+func (m *Metrics) Start() time.Time { return m.start }
+
+// Gauge is a time-weighted level gauge: it integrates the level over
+// time exactly at each change, so Mean needs no sampler.
+type Gauge struct {
+	clk clock.Clock
+
+	mu       sync.Mutex
+	start    time.Time
+	cur      int64
+	integral time.Duration // cur-weighted elapsed time, in level·ns
+	last     time.Time
+	max      int64
+}
+
+func (g *Gauge) init(clk clock.Clock) {
+	g.clk = clk
+	g.start = clk.Now()
+	g.last = g.start
+}
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) {
+	now := g.clk.Now()
+	g.mu.Lock()
+	g.integral += time.Duration(g.cur) * now.Sub(g.last)
+	g.cur += delta
+	if g.cur > g.max {
+		g.max = g.cur
+	}
+	g.last = now
+	g.mu.Unlock()
+}
+
+// Current returns the instantaneous level.
+func (g *Gauge) Current() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
+
+// Mean returns the time-weighted mean level since the gauge started.
+func (g *Gauge) Mean() float64 {
+	now := g.clk.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	integral := g.integral + time.Duration(g.cur)*now.Sub(g.last)
+	total := now.Sub(g.start)
+	if total <= 0 {
+		return 0
+	}
+	return float64(integral) / float64(total)
+}
+
+// Max returns the maximum level observed.
+func (g *Gauge) Max() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"time"
+
+	"xpointdb/internal/clock"
+	"xpointdb/internal/costmodel"
+	"xpointdb/internal/sstable"
+	"xpointdb/internal/throttle"
+	"xpointdb/internal/vfs"
+)
+
+// Options configures a DB. The zero value is not usable; start from
+// DefaultOptions. Field defaults track RocksDB 5.17's, scaled per
+// DESIGN.md so a ~hundreds-of-MB simulated dataset exhibits the same
+// LSM dynamics as the paper's 100 GB one.
+type Options struct {
+	// FS is the data filesystem (required).
+	FS vfs.FS
+	// WALFS, if non-nil, holds the write-ahead log on a different
+	// filesystem/device — the paper's case study C places it on NVM.
+	WALFS vfs.FS
+	// Clock drives all timing; nil means the real clock.
+	Clock clock.Clock
+	// CostModel charges virtual CPU time for in-memory work under
+	// the simulation kernel. Nil charges nothing.
+	CostModel *costmodel.Model
+
+	// MemtableSize is the mutable memtable byte budget. A flushed
+	// memtable becomes one Level-0 file, so this is also the L0 file
+	// size knob that Figures 8/9/10/12 sweep.
+	MemtableSize int64
+	// MaxImmutables bounds the queue of flushed-but-unwritten
+	// memtables (RocksDB max_write_buffer_number − 1).
+	MaxImmutables int
+
+	// L0CompactionTrigger starts L0→L1 compaction at this many L0
+	// files (RocksDB default 4).
+	L0CompactionTrigger int
+	// L0SlowdownTrigger engages write throttling (RocksDB 20).
+	L0SlowdownTrigger int
+	// L0StopTrigger blocks writes entirely (RocksDB 36 — the paper's
+	// "36 by default" Level-0 file limit).
+	L0StopTrigger int
+
+	// TargetFileSize is the output SST size at L1+.
+	TargetFileSize int64
+	// BaseLevelBytes is the L1 size target; each deeper level is
+	// LevelMultiplier× larger.
+	BaseLevelBytes int64
+	// LevelMultiplier is the per-level size ratio (default 10).
+	LevelMultiplier int
+
+	// BlockSize is the SST data block size (default 4 KiB).
+	BlockSize int
+	// BloomBitsPerKey sizes the per-table Bloom filters; 0 disables
+	// them (default 10).
+	BloomBitsPerKey int
+	// Compression selects the SST data block codec (default none;
+	// the paper's experiments also run without compression so block
+	// reads have deterministic size).
+	Compression sstable.Compression
+	// BlockCacheSize is the block cache capacity in bytes.
+	BlockCacheSize int64
+
+	// DisableWAL skips the write-ahead log entirely (Figure 17).
+	DisableWAL bool
+	// SyncWAL makes every commit group fsync the WAL before being
+	// acknowledged. The default (false) matches RocksDB's benchmark
+	// configuration and the paper's description: WAL appends go to
+	// the write buffer and are flushed to the device asynchronously
+	// (at memtable rotation). Durability-critical callers set this
+	// or pass sync=true to Apply.
+	SyncWAL bool
+
+	// PipelinedWrites enables the paper's Algorithm 2: after the
+	// group leader finishes the WAL append, every writer in the
+	// group applies its own batch to the memtable concurrently.
+	// Disabled, the leader applies all batches itself.
+	PipelinedWrites bool
+	// MaxBatchGroupBytes caps how much a leader batches into one WAL
+	// record.
+	MaxBatchGroupBytes int64
+
+	// ThrottleMode selects the write controller policy (Algorithm 1,
+	// two-stage, or none).
+	ThrottleMode throttle.Mode
+	// DelayedWriteRate is the controller's starting rate, bytes/s.
+	DelayedWriteRate float64
+	// TwoStageFloorRate bounds stage-1 throttling in two-stage mode.
+	TwoStageFloorRate float64
+
+	// AdaptiveL0 enables case study B: the engine watches the
+	// read/write mix and retunes MemtableSize so Level-0 converges
+	// to many small files under write-heavy load (fast inserts) or
+	// few large files under read-heavy load (fewer files to probe).
+	AdaptiveL0 bool
+	// AdaptiveL0Aggregate is the assumed-constant aggregate Level-0
+	// volume V; file size flips between V/AdaptiveL0ManyFiles and
+	// V/AdaptiveL0FewFiles.
+	AdaptiveL0Aggregate int64
+	// AdaptiveL0ManyFiles and AdaptiveL0FewFiles are the two target
+	// file counts (paper: 24 and 6).
+	AdaptiveL0ManyFiles int
+	AdaptiveL0FewFiles  int
+	// AdaptiveWindow is the sampling window for the read/write ratio.
+	AdaptiveWindow time.Duration
+	// AdaptiveWriteIntensive is the write fraction above which the
+	// workload is tagged write-intensive (paper: 25%).
+	AdaptiveWriteIntensive float64
+
+	// Logger, if non-nil, receives debug events.
+	Logger func(format string, args ...interface{})
+}
+
+// DefaultOptions returns the scaled-RocksDB defaults. fs is the data
+// filesystem.
+func DefaultOptions(fs vfs.FS) Options {
+	return Options{
+		FS:                  fs,
+		MemtableSize:        4 << 20,
+		MaxImmutables:       1,
+		L0CompactionTrigger: 4,
+		L0SlowdownTrigger:   20,
+		L0StopTrigger:       36,
+		TargetFileSize:      4 << 20,
+		BaseLevelBytes:      16 << 20,
+		LevelMultiplier:     10,
+		BlockSize:           4096,
+		BloomBitsPerKey:     10,
+		BlockCacheSize:      8 << 20,
+		SyncWAL:             false,
+		PipelinedWrites:     true,
+		MaxBatchGroupBytes:  1 << 20,
+		ThrottleMode:        throttle.ModeAlgorithm1,
+		DelayedWriteRate:    16 << 20,
+
+		AdaptiveL0Aggregate:    96 << 20,
+		AdaptiveL0ManyFiles:    24,
+		AdaptiveL0FewFiles:     6,
+		AdaptiveWindow:         2 * time.Second,
+		AdaptiveWriteIntensive: 0.25,
+	}
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions(o.FS)
+	if o.Clock == nil {
+		o.Clock = clock.Real{}
+	}
+	if o.MemtableSize <= 0 {
+		o.MemtableSize = d.MemtableSize
+	}
+	if o.MaxImmutables <= 0 {
+		o.MaxImmutables = d.MaxImmutables
+	}
+	if o.L0CompactionTrigger <= 0 {
+		o.L0CompactionTrigger = d.L0CompactionTrigger
+	}
+	if o.L0SlowdownTrigger <= 0 {
+		o.L0SlowdownTrigger = d.L0SlowdownTrigger
+	}
+	if o.L0StopTrigger <= 0 {
+		o.L0StopTrigger = d.L0StopTrigger
+	}
+	if o.TargetFileSize <= 0 {
+		o.TargetFileSize = o.MemtableSize
+	}
+	if o.BaseLevelBytes <= 0 {
+		o.BaseLevelBytes = 4 * o.MemtableSize
+	}
+	if o.LevelMultiplier <= 0 {
+		o.LevelMultiplier = d.LevelMultiplier
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = d.BlockSize
+	}
+	if o.BlockCacheSize < 0 {
+		o.BlockCacheSize = 0
+	}
+	if o.MaxBatchGroupBytes <= 0 {
+		o.MaxBatchGroupBytes = d.MaxBatchGroupBytes
+	}
+	if o.DelayedWriteRate <= 0 {
+		o.DelayedWriteRate = d.DelayedWriteRate
+	}
+	if o.AdaptiveL0Aggregate <= 0 {
+		o.AdaptiveL0Aggregate = d.AdaptiveL0Aggregate
+	}
+	if o.AdaptiveL0ManyFiles <= 0 {
+		o.AdaptiveL0ManyFiles = d.AdaptiveL0ManyFiles
+	}
+	if o.AdaptiveL0FewFiles <= 0 {
+		o.AdaptiveL0FewFiles = d.AdaptiveL0FewFiles
+	}
+	if o.AdaptiveWindow <= 0 {
+		o.AdaptiveWindow = d.AdaptiveWindow
+	}
+	if o.AdaptiveWriteIntensive <= 0 {
+		o.AdaptiveWriteIntensive = d.AdaptiveWriteIntensive
+	}
+	return o
+}
+
+func (o *Options) logf(format string, args ...interface{}) {
+	if o.Logger != nil {
+		o.Logger(format, args...)
+	}
+}

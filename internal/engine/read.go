@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+
+	"xpointdb/internal/keys"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/memtable"
+	"xpointdb/internal/vfs"
+)
+
+// Get returns the value stored under key, or ErrNotFound. The lookup
+// order is the LSM read path the paper analyzes: memtable, immutable
+// memtables (newest first), every overlapping Level-0 file from newest
+// to oldest, then one file per deeper level — with Bloom filters and
+// the block cache short-circuiting device reads.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	start := db.clk.Now()
+	v, err := db.get(key)
+	now := db.clk.Now()
+	db.metrics.GetLatency.Record(now.Sub(start))
+	db.metrics.Ops.Record(now, 1)
+	db.windowReads.Add(1)
+	return v, err
+}
+
+func (db *DB) get(key []byte) ([]byte, error) {
+	return db.getAt(key, db.visibleSeq.Load())
+}
+
+// getAt reads key as of sequence snapshot snap.
+func (db *DB) getAt(key []byte, snap uint64) ([]byte, error) {
+	// The version snapshot is taken without pinning files, so a
+	// racing compaction can delete an SST under us (surfacing as a
+	// not-exist error); retrying against a fresh version resolves
+	// it. Two retries bound the pathological case of back-to-back
+	// compactions.
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var val []byte
+		val, err = db.getAttempt(key, snap)
+		if err == nil || err == ErrNotFound || err == ErrClosed || !errors.Is(err, vfs.ErrNotExist) {
+			return val, err
+		}
+	}
+	return nil, err
+}
+
+func (db *DB) getAttempt(key []byte, snap uint64) ([]byte, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem := db.mem
+	imms := append([]flushedMem(nil), db.imms...)
+	ver := db.vs.Current()
+	db.mu.Unlock()
+
+	// 1. Mutable memtable.
+	if val, ok, err := db.getFromMem(mem, key, snap, &db.metrics.GetHitMemtable); ok {
+		return val, err
+	}
+	// 2. Immutable memtables, newest first.
+	for i := len(imms) - 1; i >= 0; i-- {
+		if val, ok, err := db.getFromMem(imms[i].mem, key, snap, &db.metrics.GetHitImmutable); ok {
+			return val, err
+		}
+	}
+	// 3. The tree.
+	return db.getFromVersion(ver, key, snap)
+}
+
+// getFromMem probes one memtable. ok=true means the search terminated
+// here (hit or tombstone).
+func (db *DB) getFromMem(mem *memtable.Memtable, key []byte, snap uint64, hitCounter interface{ Add(int64) int64 }) ([]byte, bool, error) {
+	val, found, deleted, cmps := mem.Get(key, snap)
+	if db.cost != nil {
+		db.cost.ChargeCompares(db.clk, cmps)
+	}
+	if !found {
+		return nil, false, nil
+	}
+	hitCounter.Add(1)
+	if deleted {
+		return nil, true, ErrNotFound
+	}
+	return val, true, nil
+}
+
+// getFromVersion searches the on-disk tree.
+func (db *DB) getFromVersion(v *manifest.Version, key []byte, snap uint64) ([]byte, error) {
+	search := keys.SearchKey(key, snap)
+
+	// Level 0: files may overlap; probe every covering file newest
+	// first. This loop is the read amplification of Finding #2 — its
+	// cost scales with the number of Level-0 files.
+	for _, f := range v.L0Newest() {
+		if !f.ContainsUserKey(key) {
+			continue
+		}
+		val, ok, err := db.probeTable(f, key, search, &db.metrics.GetHitL0)
+		db.metrics.L0TablesProbed.Add(1)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if val == nil {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+
+	// Levels 1+: at most one file per level can contain the key.
+	for l := 1; l < manifest.NumLevels; l++ {
+		f, cmps := v.FileForKey(l, key)
+		if db.cost != nil {
+			db.cost.ChargeCompares(db.clk, cmps)
+		}
+		if f == nil {
+			continue
+		}
+		val, ok, err := db.probeTable(f, key, search, &db.metrics.GetHitDeep)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if val == nil {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+	db.metrics.GetMisses.Add(1)
+	return nil, ErrNotFound
+}
+
+// probeTable searches one SST. ok=true terminates the search; a nil
+// value with ok=true is a tombstone.
+func (db *DB) probeTable(f *manifest.FileMeta, key, search []byte, hitCounter interface{ Add(int64) int64 }) (val []byte, ok bool, err error) {
+	r, err := db.tables.get(f)
+	if err != nil {
+		return nil, false, err
+	}
+	if db.cost != nil {
+		db.cost.ChargeBloom(db.clk, 1)
+	}
+	if !r.MayContain(key) {
+		db.metrics.BloomSkips.Add(1)
+		return nil, false, nil
+	}
+	if db.cost != nil {
+		db.cost.ChargeTableProbe(db.clk)
+	}
+	ikey, value, cmps, found, err := r.Get(search)
+	if db.cost != nil {
+		db.cost.ChargeCompares(db.clk, cmps)
+	}
+	if err != nil || !found {
+		return nil, false, err
+	}
+	if !bytes.Equal(keys.UserKey(ikey), key) {
+		return nil, false, nil
+	}
+	hitCounter.Add(1)
+	if _, kind := keys.Trailer(ikey); kind == keys.KindDelete {
+		return nil, true, nil // tombstone
+	}
+	return value, true, nil
+}
+
+// Has reports whether key exists.
+func (db *DB) Has(key []byte) (bool, error) {
+	_, err := db.Get(key)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

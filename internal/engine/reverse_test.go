@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestIterBackwardScan(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	defer db.Close()
+	const n = 2500 // spans several SSTs and the memtable
+	for i := 0; i < n; i++ {
+		if err := db.Put(testKey(i), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Delete(testKey(100))
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := n - 1
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		if i == 100 {
+			i-- // deleted
+		}
+		if string(it.Key()) != string(testKey(i)) {
+			t.Fatalf("backward[%d] = %q, want %q", i, it.Key(), testKey(i))
+		}
+		if string(it.Value()) != string(testValue(i)) {
+			t.Fatalf("backward value[%d] = %q", i, it.Value())
+		}
+		i--
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if i != -1 {
+		t.Fatalf("backward scan stopped at %d", i)
+	}
+}
+
+func TestIterBackwardSeesNewestVersion(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	defer db.Close()
+	// Many versions of the same key across flushes.
+	for i := 0; i < 300; i++ {
+		if err := db.Put([]byte("multi"), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Put([]byte("aaa"), []byte("first"))
+	db.Put([]byte("zzz"), []byte("last"))
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	it.SeekToLast()
+	if !it.Valid() || string(it.Key()) != "zzz" {
+		t.Fatalf("last = %q", it.Key())
+	}
+	it.Prev()
+	if !it.Valid() || string(it.Key()) != "multi" {
+		t.Fatalf("prev = %q", it.Key())
+	}
+	if string(it.Value()) != string(testValue(299)) {
+		t.Fatalf("backward iteration returned stale version: %q", it.Value())
+	}
+	it.Prev()
+	if !it.Valid() || string(it.Key()) != "aaa" {
+		t.Fatalf("prev-prev = %q", it.Key())
+	}
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("iterated past first key")
+	}
+}
+
+func TestIterSeekLTAndDirectionSwitch(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	defer db.Close()
+	for i := 0; i < 100; i += 2 {
+		if err := db.Put(testKey(i), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	it.SeekLT(testKey(31))
+	if !it.Valid() || string(it.Key()) != string(testKey(30)) {
+		t.Fatalf("SeekLT(31) = %q", it.Key())
+	}
+	it.Next() // direction switch backward→forward
+	if !it.Valid() || string(it.Key()) != string(testKey(32)) {
+		t.Fatalf("SeekLT then Next = %q", it.Key())
+	}
+	it.Prev() // forward→backward
+	if !it.Valid() || string(it.Key()) != string(testKey(30)) {
+		t.Fatalf("Next then Prev = %q", it.Key())
+	}
+	it.Prev()
+	if !it.Valid() || string(it.Key()) != string(testKey(28)) {
+		t.Fatalf("second Prev = %q", it.Key())
+	}
+}
+
+func TestIterBackwardSkipsDeletedRuns(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		if err := db.Put(testKey(i), testValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a contiguous run in the middle.
+	for i := 10; i < 40; i++ {
+		if err := db.Delete(testKey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	it.SeekLT(testKey(45))
+	if !it.Valid() || string(it.Key()) != string(testKey(44)) {
+		t.Fatalf("SeekLT(45) = %q", it.Key())
+	}
+	for i := 0; i < 5; i++ { // 44,43,42,41,40
+		it.Prev()
+	}
+	if !it.Valid() || string(it.Key()) != string(testKey(9)) {
+		t.Fatalf("Prev across tombstone run = %q, want key 9", it.Key())
+	}
+}
+
+func TestIterRandomBidirectionalAgainstModel(t *testing.T) {
+	db, _ := newTestDB(t, func(o *Options) {
+		o.MemtableSize = 16 << 10
+	})
+	defer db.Close()
+	rng := rand.New(rand.NewSource(99))
+	model := map[string]string{}
+	for i := 0; i < 1200; i++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(300))
+		if rng.Intn(5) == 0 {
+			db.Delete([]byte(k))
+			delete(model, k)
+		} else {
+			v := fmt.Sprintf("v%d", i)
+			db.Put([]byte(k), []byte(v))
+			model[k] = v
+		}
+	}
+	var sorted []string
+	for k := range model {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	if len(sorted) == 0 {
+		t.Skip("model drained")
+	}
+
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	pos := len(sorted) / 2
+	it.SeekGE([]byte(sorted[pos]))
+	for step := 0; step < 800; step++ {
+		if !it.Valid() {
+			t.Fatalf("step %d: invalid at model pos %d (%s)", step, pos, sorted[pos])
+		}
+		if string(it.Key()) != sorted[pos] {
+			t.Fatalf("step %d: key %q, model %q", step, it.Key(), sorted[pos])
+		}
+		if string(it.Value()) != model[sorted[pos]] {
+			t.Fatalf("step %d: value %q, model %q", step, it.Value(), model[sorted[pos]])
+		}
+		if rng.Intn(2) == 0 && pos < len(sorted)-1 {
+			it.Next()
+			pos++
+		} else if pos > 0 {
+			it.Prev()
+			pos--
+		} else {
+			it.Next()
+			pos++
+		}
+	}
+}

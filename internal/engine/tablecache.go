@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"xpointdb/internal/cache"
+	"xpointdb/internal/clock"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/sstable"
+	"xpointdb/internal/vfs"
+)
+
+// tableCache keeps every live SST's Reader open (footer, index and
+// filter pinned in memory, as RocksDB's table cache does with
+// max_open_files = -1). Concurrent first-opens of the same file are
+// coalesced; the wait uses the engine clock's Cond so it parks
+// correctly under the simulation kernel.
+type tableCache struct {
+	fs     vfs.FS
+	blocks *cache.Cache // may be nil
+
+	mu      clock.Mutex
+	cond    clock.Cond
+	readers map[uint64]*sstable.Reader
+	loading map[uint64]bool
+}
+
+func newTableCache(clk clock.Clock, fs vfs.FS, blocks *cache.Cache) *tableCache {
+	mu := clk.NewMutex()
+	return &tableCache{
+		fs:      fs,
+		blocks:  blocks,
+		mu:      mu,
+		cond:    clk.NewCond(mu),
+		readers: make(map[uint64]*sstable.Reader),
+		loading: make(map[uint64]bool),
+	}
+}
+
+// get returns the Reader for file meta, opening it on first use.
+func (tc *tableCache) get(meta *manifest.FileMeta) (*sstable.Reader, error) {
+	tc.mu.Lock()
+	for {
+		if r, ok := tc.readers[meta.Num]; ok {
+			tc.mu.Unlock()
+			return r, nil
+		}
+		if !tc.loading[meta.Num] {
+			tc.loading[meta.Num] = true
+			break
+		}
+		tc.cond.Wait()
+	}
+	tc.mu.Unlock()
+
+	f, err := tc.fs.Open(manifest.SSTName(meta.Num))
+	var r *sstable.Reader
+	if err == nil {
+		r, err = sstable.NewReader(f, meta.Size, meta.Num, tc.blocks)
+		if err != nil {
+			f.Close()
+		}
+	}
+
+	tc.mu.Lock()
+	delete(tc.loading, meta.Num)
+	if err == nil {
+		tc.readers[meta.Num] = r
+	}
+	tc.cond.Broadcast()
+	tc.mu.Unlock()
+	return r, err
+}
+
+// evict forgets the reader for num (the file is being deleted) and
+// drops its cached blocks. The reader is NOT closed here: a concurrent
+// Get or iterator working from an older version snapshot may still be
+// probing it. The garbage collector reclaims the handle (vfs.OS file
+// descriptors carry a finalizer).
+func (tc *tableCache) evict(num uint64) {
+	tc.mu.Lock()
+	delete(tc.readers, num)
+	tc.mu.Unlock()
+	if tc.blocks != nil {
+		tc.blocks.EvictFile(num)
+	}
+}
+
+// close closes every open reader.
+func (tc *tableCache) close() {
+	tc.mu.Lock()
+	readers := tc.readers
+	tc.readers = make(map[uint64]*sstable.Reader)
+	tc.mu.Unlock()
+	for _, r := range readers {
+		r.Close()
+	}
+}

@@ -1,0 +1,261 @@
+// Package histogram provides the latency histograms and throughput
+// time series used by the engine's instrumentation and by the
+// experiment harness — the counters behind every latency and
+// throughput figure in the paper.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// bucketLimits holds the upper bounds (inclusive) of the histogram
+// buckets in nanoseconds, growing geometrically by ~1.5× from 1 µs to
+// beyond 10 s. The layout follows RocksDB's HistogramImpl.
+var bucketLimits = makeLimits()
+
+func makeLimits() []int64 {
+	var limits []int64
+	v := int64(1000) // 1 µs
+	for v < int64(20*time.Second) {
+		limits = append(limits, v)
+		next := v + v/2
+		if next == v {
+			next = v + 1
+		}
+		v = next
+	}
+	limits = append(limits, math.MaxInt64)
+	return limits
+}
+
+// Histogram accumulates duration samples and reports percentiles. It is
+// safe for concurrent use. The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	idx := sort.Search(len(bucketLimits), func(i int) bool { return bucketLimits[i] >= ns })
+	h.mu.Lock()
+	if h.buckets == nil {
+		h.buckets = make([]int64, len(bucketLimits))
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += ns
+	if h.count == 1 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean sample.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Min and Max return the extreme samples.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.min)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100), interpolated
+// within the containing bucket.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	threshold := float64(h.count) * p / 100
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= threshold {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketLimits[i-1]
+			}
+			hi := bucketLimits[i]
+			if hi == math.MaxInt64 {
+				hi = h.max
+			}
+			// Interpolate position within the bucket.
+			within := 1 - (cum-threshold)/float64(c)
+			v := float64(lo) + within*float64(hi-lo)
+			if v < float64(h.min) {
+				v = float64(h.min)
+			}
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.buckets = nil
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+	h.mu.Unlock()
+}
+
+// Merge adds all of other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	ob := append([]int64(nil), other.buckets...)
+	oc, os, omin, omax := other.count, other.sum, other.min, other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.buckets == nil {
+		h.buckets = make([]int64, len(bucketLimits))
+	}
+	for i, c := range ob {
+		h.buckets[i] += c
+	}
+	if oc > 0 {
+		if h.count == 0 || omin < h.min {
+			h.min = omin
+		}
+		if omax > h.max {
+			h.max = omax
+		}
+	}
+	h.count += oc
+	h.sum += os
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Max())
+}
+
+// ---------------------------------------------------------------------
+
+// TimeSeries counts events into fixed-width time buckets, producing the
+// per-second throughput timelines of Figures 4, 5 and 18. It is safe
+// for concurrent use.
+type TimeSeries struct {
+	start time.Time
+	width time.Duration
+
+	mu      sync.Mutex
+	buckets map[int64]int64
+}
+
+// NewTimeSeries returns a series whose buckets are width wide, with
+// bucket 0 starting at start.
+func NewTimeSeries(start time.Time, width time.Duration) *TimeSeries {
+	if width <= 0 {
+		width = time.Second
+	}
+	return &TimeSeries{start: start, width: width, buckets: make(map[int64]int64)}
+}
+
+// Record adds n events at time t.
+func (ts *TimeSeries) Record(t time.Time, n int64) {
+	idx := int64(t.Sub(ts.start) / ts.width)
+	ts.mu.Lock()
+	ts.buckets[idx] += n
+	ts.mu.Unlock()
+}
+
+// Point is one bucket of a series.
+type Point struct {
+	// T is the offset of the bucket start from the series start.
+	T time.Duration
+	// Count is the number of events recorded in the bucket.
+	Count int64
+	// Rate is Count normalized to events/second.
+	Rate float64
+}
+
+// Points returns all buckets from offset 0 through the last non-empty
+// bucket, including empty intermediate buckets.
+func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var maxIdx int64 = -1
+	for i := range ts.buckets {
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	pts := make([]Point, 0, maxIdx+1)
+	for i := int64(0); i <= maxIdx; i++ {
+		c := ts.buckets[i]
+		pts = append(pts, Point{
+			T:     time.Duration(i) * ts.width,
+			Count: c,
+			Rate:  float64(c) / ts.width.Seconds(),
+		})
+	}
+	return pts
+}
+
+// MinRate returns the lowest per-bucket rate within [from, to) (offsets
+// from series start), or 0 if the window is empty. Used to detect
+// near-stop periods (case study A).
+func (ts *TimeSeries) MinRate(from, to time.Duration) float64 {
+	min := math.Inf(1)
+	any := false
+	for _, p := range ts.Points() {
+		if p.T >= from && p.T < to {
+			any = true
+			if p.Rate < min {
+				min = p.Rate
+			}
+		}
+	}
+	if !any {
+		return 0
+	}
+	return min
+}

@@ -1,0 +1,220 @@
+package histogram
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 100*time.Microsecond || h.Max() != 100*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	p := h.Percentile(50)
+	if p < 60*time.Microsecond || p > 100*time.Microsecond {
+		t.Fatalf("p50 of single sample = %v", p)
+	}
+}
+
+func TestPercentileOrdering(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(rng.Intn(1000000)) * time.Microsecond / 100)
+	}
+	p50, p90, p99 := h.Percentile(50), h.Percentile(90), h.Percentile(99)
+	if !(p50 <= p90 && p90 <= p99 && p99 <= h.Max()) {
+		t.Fatalf("percentiles out of order: %v %v %v max=%v", p50, p90, p99, h.Max())
+	}
+	// Uniform distribution: p50 should be near the middle.
+	mid := 5 * time.Millisecond
+	if p50 < mid/2 || p50 > mid*2 {
+		t.Fatalf("p50 = %v far from %v", p50, mid)
+	}
+}
+
+func TestPercentileAccuracyUniform(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p90 := h.Percentile(90)
+	want := 9 * time.Millisecond
+	// Geometric buckets: allow 50% relative error.
+	if p90 < want/2 || p90 > want*3/2 {
+		t.Fatalf("p90 = %v, want ≈%v", p90, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var h Histogram
+	h.Record(10 * time.Microsecond)
+	h.Record(30 * time.Microsecond)
+	if got := h.Mean(); got != 20*time.Microsecond {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestNegativeClampedToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Second)
+	if h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample mishandled: max=%v", h.Max())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	b.Record(5 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 5*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Mean() != 3*time.Millisecond {
+		t.Fatalf("merged mean = %v", a.Mean())
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Record(7 * time.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 1 || a.Min() != 7*time.Microsecond {
+		t.Fatalf("merge into empty: n=%d min=%v", a.Count(), a.Min())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Record(time.Duration(s))
+		}
+		for _, p := range []float64{1, 50, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+
+var t0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	ts := NewTimeSeries(t0, time.Second)
+	ts.Record(t0, 1)
+	ts.Record(t0.Add(500*time.Millisecond), 2)
+	ts.Record(t0.Add(1500*time.Millisecond), 5)
+	ts.Record(t0.Add(3100*time.Millisecond), 7)
+	pts := ts.Points()
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Count != 3 || pts[1].Count != 5 || pts[2].Count != 0 || pts[3].Count != 7 {
+		t.Fatalf("counts = %v", pts)
+	}
+	if pts[1].Rate != 5 {
+		t.Fatalf("rate = %f", pts[1].Rate)
+	}
+	if pts[2].T != 2*time.Second {
+		t.Fatalf("gap bucket offset = %v", pts[2].T)
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	ts := NewTimeSeries(t0, time.Second)
+	if pts := ts.Points(); len(pts) != 0 {
+		t.Fatalf("empty series has %d points", len(pts))
+	}
+}
+
+func TestTimeSeriesMinRate(t *testing.T) {
+	ts := NewTimeSeries(t0, time.Second)
+	ts.Record(t0.Add(0*time.Second), 100)
+	ts.Record(t0.Add(1*time.Second), 5)
+	ts.Record(t0.Add(2*time.Second), 50)
+	if got := ts.MinRate(0, 3*time.Second); got != 5 {
+		t.Fatalf("MinRate = %f", got)
+	}
+	if got := ts.MinRate(10*time.Second, 20*time.Second); got != 0 {
+		t.Fatalf("MinRate of empty window = %f", got)
+	}
+}
+
+func TestTimeSeriesConcurrent(t *testing.T) {
+	ts := NewTimeSeries(t0, time.Second)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ts.Record(t0.Add(time.Duration(i)*time.Millisecond), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, p := range ts.Points() {
+		total += p.Count
+	}
+	if total != 4000 {
+		t.Fatalf("total = %d", total)
+	}
+}

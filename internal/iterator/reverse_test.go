@@ -1,0 +1,168 @@
+package iterator
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xpointdb/internal/keys"
+)
+
+func collectBackward(t *testing.T, it Iterator) []string {
+	t.Helper()
+	var out []string
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		out = append(out, fmt.Sprintf("%s=%s", keys.UserKey(it.Key()), it.Value()))
+	}
+	if err := it.Error(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	return out
+}
+
+func TestMergingBackwardScan(t *testing.T) {
+	a := newFake("a:1:1", "c:1:3", "e:1:5")
+	b := newFake("b:1:2", "d:1:4", "f:1:6")
+	m := NewMerging(a, b)
+	got := collectBackward(t, m)
+	want := "[f=6 e=5 d=4 c=3 b=2 a=1]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("backward = %v", got)
+	}
+}
+
+func TestMergingSeekLT(t *testing.T) {
+	a := newFake("a:1:1", "e:1:5")
+	b := newFake("c:1:3", "g:1:7")
+	m := NewMerging(a, b)
+	m.SeekLT(keys.SearchKey([]byte("f"), keys.MaxSeq))
+	if !m.Valid() || string(keys.UserKey(m.Key())) != "e" {
+		t.Fatalf("SeekLT(f) = %s", keys.String(m.Key()))
+	}
+	m.SeekLT(keys.SearchKey([]byte("a"), keys.MaxSeq))
+	if m.Valid() {
+		t.Fatal("SeekLT before first should be invalid")
+	}
+}
+
+func TestMergingDirectionSwitch(t *testing.T) {
+	a := newFake("a:1:1", "c:1:3", "e:1:5")
+	b := newFake("b:1:2", "d:1:4")
+	m := NewMerging(a, b)
+
+	m.SeekToFirst() // a
+	m.Next()        // b
+	m.Next()        // c
+	m.Prev()        // back to b — switch to backward
+	if !m.Valid() || string(keys.UserKey(m.Key())) != "b" {
+		t.Fatalf("after fwd-fwd-prev: %s", keys.String(m.Key()))
+	}
+	m.Next() // c — switch to forward again
+	if !m.Valid() || string(keys.UserKey(m.Key())) != "c" {
+		t.Fatalf("after prev-next: %s", keys.String(m.Key()))
+	}
+	m.Prev() // b
+	m.Prev() // a
+	if !m.Valid() || string(keys.UserKey(m.Key())) != "a" {
+		t.Fatalf("after double prev: %s", keys.String(m.Key()))
+	}
+	m.Prev()
+	if m.Valid() {
+		t.Fatal("Prev before first should be invalid")
+	}
+}
+
+func TestMergingBackwardMatchesReference(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		mk := func(vals []uint16, child int) (*fakeIter, [][]byte) {
+			sorted := append([]uint16(nil), vals...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			it := &fakeIter{idx: -1}
+			var ks [][]byte
+			seen := map[uint16]bool{}
+			for _, v := range sorted {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				k := keys.Make([]byte(fmt.Sprintf("%05d-%d", v, child)), 1, keys.KindSet)
+				it.keys = append(it.keys, k)
+				it.vals = append(it.vals, nil)
+				ks = append(ks, k)
+			}
+			return it, ks
+		}
+		a, ka := mk(xs, 0)
+		b, kb := mk(ys, 1)
+		all := append(append([][]byte{}, ka...), kb...)
+		sort.Slice(all, func(i, j int) bool { return keys.Compare(all[i], all[j]) < 0 })
+
+		m := NewMerging(a, b)
+		i := len(all) - 1
+		for m.SeekToLast(); m.Valid(); m.Prev() {
+			if i < 0 || keys.Compare(m.Key(), all[i]) != 0 {
+				return false
+			}
+			i--
+		}
+		return i == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatBackwardScan(t *testing.T) {
+	c := concatOver([]*fakeIter{
+		newFake("a:1:1", "b:1:2"),
+		newFake("c:1:3"),
+		newFake("d:1:4", "e:1:5"),
+	})
+	got := collectBackward(t, c)
+	if fmt.Sprint(got) != "[e=5 d=4 c=3 b=2 a=1]" {
+		t.Fatalf("backward concat = %v", got)
+	}
+}
+
+func TestConcatSeekLT(t *testing.T) {
+	c := concatOver([]*fakeIter{
+		newFake("a:1:1"),
+		newFake("c:1:3"),
+		newFake("e:1:5"),
+	})
+	c.SeekLT(keys.SearchKey([]byte("d"), keys.MaxSeq))
+	if !c.Valid() || string(keys.UserKey(c.Key())) != "c" {
+		t.Fatalf("SeekLT(d) = %s", keys.String(c.Key()))
+	}
+	// Target past everything: last entry.
+	c.SeekLT(keys.SearchKey([]byte("z"), keys.MaxSeq))
+	if !c.Valid() || string(keys.UserKey(c.Key())) != "e" {
+		t.Fatalf("SeekLT(z) = %s", keys.String(c.Key()))
+	}
+	// Target before everything: invalid.
+	c.SeekLT(keys.SearchKey([]byte("a"), keys.MaxSeq))
+	if c.Valid() {
+		t.Fatal("SeekLT before first valid")
+	}
+}
+
+func TestConcatPrevAcrossEmptyChild(t *testing.T) {
+	c := concatOver([]*fakeIter{
+		newFake("a:1:1"),
+		newFake(),
+		newFake("z:1:9"),
+	})
+	c.SeekToLast()
+	if !c.Valid() || string(keys.UserKey(c.Key())) != "z" {
+		t.Fatalf("SeekToLast = %s", keys.String(c.Key()))
+	}
+	c.Prev()
+	if !c.Valid() || string(keys.UserKey(c.Key())) != "a" {
+		t.Fatalf("Prev across empty child = %s", keys.String(c.Key()))
+	}
+	c.Prev()
+	if c.Valid() {
+		t.Fatal("Prev past first valid")
+	}
+}

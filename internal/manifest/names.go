@@ -1,0 +1,59 @@
+package manifest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FileType classifies the files of a database directory.
+type FileType int
+
+// Database file types.
+const (
+	TypeUnknown FileType = iota
+	TypeSST
+	TypeWAL
+	TypeManifest
+	TypeCurrent
+)
+
+// SSTName returns the file name of SST number num.
+func SSTName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
+
+// WALName returns the file name of WAL number num.
+func WALName(num uint64) string { return fmt.Sprintf("%06d.log", num) }
+
+// ManifestName returns the file name of MANIFEST number num.
+func ManifestName(num uint64) string { return fmt.Sprintf("MANIFEST-%06d", num) }
+
+// CurrentName is the pointer file naming the live MANIFEST.
+const CurrentName = "CURRENT"
+
+// ParseName classifies a database file name, returning its type and
+// number (0 for CURRENT).
+func ParseName(name string) (FileType, uint64) {
+	switch {
+	case name == CurrentName:
+		return TypeCurrent, 0
+	case strings.HasPrefix(name, "MANIFEST-"):
+		n, err := strconv.ParseUint(name[len("MANIFEST-"):], 10, 64)
+		if err != nil {
+			return TypeUnknown, 0
+		}
+		return TypeManifest, n
+	case strings.HasSuffix(name, ".sst"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64)
+		if err != nil {
+			return TypeUnknown, 0
+		}
+		return TypeSST, n
+	case strings.HasSuffix(name, ".log"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64)
+		if err != nil {
+			return TypeUnknown, 0
+		}
+		return TypeWAL, n
+	}
+	return TypeUnknown, 0
+}

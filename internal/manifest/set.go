@@ -1,0 +1,269 @@
+package manifest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"xpointdb/internal/vfs"
+	"xpointdb/internal/wal"
+)
+
+// Set owns the current Version and the MANIFEST log. It is not
+// concurrency-safe by itself; the engine serializes access under its
+// own mutex.
+type Set struct {
+	fs vfs.FS
+
+	current *Version
+
+	manifestNum  uint64
+	manifestFile vfs.File
+	manifestLog  *wal.Writer
+
+	// NextFileNum is the next unallocated file number.
+	NextFileNum uint64
+	// LastSeq is the newest sequence number recorded durably.
+	LastSeq uint64
+	// LogNum is the WAL file number currently in use.
+	LogNum uint64
+}
+
+// Create initializes a brand-new database directory: an empty version,
+// MANIFEST-000001 and CURRENT.
+func Create(fs vfs.FS) (*Set, error) {
+	s := &Set{fs: fs, current: &Version{}, NextFileNum: 1}
+	s.manifestNum = s.AllocFileNum()
+	f, err := fs.Create(ManifestName(s.manifestNum))
+	if err != nil {
+		return nil, fmt.Errorf("manifest: create: %w", err)
+	}
+	s.manifestFile = f
+	s.manifestLog = wal.NewWriter(f)
+	// Write a snapshot edit carrying the allocator state.
+	next, last, log := s.NextFileNum, s.LastSeq, s.LogNum
+	edit := &Edit{NextFileNum: &next, LastSeq: &last, LogNum: &log}
+	if err := s.manifestLog.AddRecord(edit.Encode()); err != nil {
+		return nil, err
+	}
+	if err := s.manifestLog.Sync(); err != nil {
+		return nil, err
+	}
+	if err := s.setCurrent(s.manifestNum); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Recover opens an existing database directory by replaying the
+// MANIFEST named by CURRENT.
+func Recover(fs vfs.FS) (*Set, error) {
+	cf, err := fs.Open(CurrentName)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: open CURRENT: %w", err)
+	}
+	defer cf.Close()
+	buf := make([]byte, 64)
+	n, err := cf.ReadAt(buf, 0)
+	if n == 0 && err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("manifest: read CURRENT: %w", err)
+	}
+	name := strings.TrimSpace(string(buf[:n]))
+	typ, num := ParseName(name)
+	if typ != TypeManifest {
+		return nil, fmt.Errorf("manifest: CURRENT names %q, not a manifest", name)
+	}
+
+	s := &Set{fs: fs, current: &Version{}, NextFileNum: 1, manifestNum: num}
+	mf, err := fs.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: open %s: %w", name, err)
+	}
+	r := wal.NewReader(mf)
+	for {
+		rec, err := r.ReadRecord()
+		if err == io.EOF {
+			break
+		}
+		if err == wal.ErrCorrupt {
+			// Torn tail of the manifest: stop at the last good edit.
+			break
+		}
+		if err != nil {
+			mf.Close()
+			return nil, fmt.Errorf("manifest: replay %s: %w", name, err)
+		}
+		edit, err := DecodeEdit(rec)
+		if err != nil {
+			mf.Close()
+			return nil, err
+		}
+		if err := s.applyMeta(edit); err != nil {
+			mf.Close()
+			return nil, err
+		}
+	}
+	mf.Close()
+
+	// Reopen the manifest for appending further edits.
+	af, err := fs.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: reopen %s: %w", name, err)
+	}
+	s.manifestFile = af
+	w, err := reopenWriter(af)
+	if err != nil {
+		return nil, err
+	}
+	s.manifestLog = w
+	return s, nil
+}
+
+// reopenWriter returns a wal.Writer appending to a log file that may
+// end mid-block. To keep the writer's block accounting valid we pad
+// the file to a block boundary first (wasted space, bounded by one
+// block; RocksDB instead rolls to a fresh manifest, which we also do
+// on open in the engine for large manifests).
+func reopenWriter(f vfs.File) (*wal.Writer, error) {
+	// Walk the log to find its end, then zero-pad to the next block
+	// boundary so the fresh Writer's block accounting is valid.
+	r := wal.NewReader(f)
+	for {
+		if _, err := r.ReadRecord(); err != nil {
+			break
+		}
+	}
+	size := r.Offset()
+	pad := (wal.BlockSize - size%wal.BlockSize) % wal.BlockSize
+	if pad > 0 {
+		if _, err := f.Write(make([]byte, pad)); err != nil {
+			return nil, fmt.Errorf("manifest: pad for reopen: %w", err)
+		}
+	}
+	return wal.NewWriter(f), nil
+}
+
+// applyMeta applies an edit's allocator fields and file changes to the
+// in-memory state (used during replay and by LogAndApply).
+func (s *Set) applyMeta(edit *Edit) error {
+	nv, err := s.current.Apply(edit)
+	if err != nil {
+		return err
+	}
+	s.current = nv
+	if edit.NextFileNum != nil && *edit.NextFileNum > s.NextFileNum {
+		s.NextFileNum = *edit.NextFileNum
+	}
+	if edit.LastSeq != nil && *edit.LastSeq > s.LastSeq {
+		s.LastSeq = *edit.LastSeq
+	}
+	if edit.LogNum != nil && *edit.LogNum > s.LogNum {
+		s.LogNum = *edit.LogNum
+	}
+	return nil
+}
+
+// LogAndApply durably appends edit to the MANIFEST and installs the
+// resulting version as current. The edit is augmented with the current
+// allocator state so that replay restores it.
+//
+// Concurrency note: the engine splits this into Prepare / Append /
+// Install so that the manifest I/O happens outside the DB mutex
+// (Prepare and Install are called under it; Append is serialized by
+// the engine's manifestBusy flag).
+func (s *Set) LogAndApply(edit *Edit) error {
+	payload := s.Prepare(edit)
+	if err := s.Append(payload); err != nil {
+		return err
+	}
+	return s.Install(edit)
+}
+
+// Prepare augments edit with the allocator state and returns its
+// encoded MANIFEST payload. Call under the engine mutex.
+func (s *Set) Prepare(edit *Edit) []byte {
+	next := s.NextFileNum
+	if edit.NextFileNum == nil {
+		edit.NextFileNum = &next
+	}
+	last := s.LastSeq
+	if edit.LastSeq == nil {
+		edit.LastSeq = &last
+	}
+	return edit.Encode()
+}
+
+// Append durably writes a prepared payload to the MANIFEST. Callers
+// must serialize Append calls among themselves.
+func (s *Set) Append(payload []byte) error {
+	if err := s.manifestLog.AddRecord(payload); err != nil {
+		return fmt.Errorf("manifest: append edit: %w", err)
+	}
+	if err := s.manifestLog.Sync(); err != nil {
+		return fmt.Errorf("manifest: sync: %w", err)
+	}
+	return nil
+}
+
+// Install applies a previously appended edit to the in-memory state.
+// Call under the engine mutex.
+func (s *Set) Install(edit *Edit) error { return s.applyMeta(edit) }
+
+// Current returns the live version.
+func (s *Set) Current() *Version { return s.current }
+
+// AllocFileNum returns a fresh file number.
+func (s *Set) AllocFileNum() uint64 {
+	n := s.NextFileNum
+	s.NextFileNum++
+	return n
+}
+
+// MarkSeq advances LastSeq (called by the write path after commit).
+func (s *Set) MarkSeq(seq uint64) {
+	if seq > s.LastSeq {
+		s.LastSeq = seq
+	}
+}
+
+// setCurrent atomically points CURRENT at manifest num.
+func (s *Set) setCurrent(num uint64) error {
+	tmp := "CURRENT.tmp"
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(ManifestName(num) + "\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fs.Rename(tmp, CurrentName)
+}
+
+// Close releases the manifest file.
+func (s *Set) Close() error {
+	if s.manifestFile != nil {
+		return s.manifestFile.Close()
+	}
+	return nil
+}
+
+// LiveFileNums returns the set of SST file numbers referenced by the
+// current version (for garbage collection of obsolete files).
+func (s *Set) LiveFileNums() map[uint64]bool {
+	live := make(map[uint64]bool)
+	for l := 0; l < NumLevels; l++ {
+		for _, f := range s.current.Files[l] {
+			live[f.Num] = true
+		}
+	}
+	return live
+}

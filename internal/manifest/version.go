@@ -1,0 +1,200 @@
+// Package manifest maintains the LSM tree's file-level metadata: which
+// SSTs exist at which level, their key ranges, and the MANIFEST log
+// that makes this metadata durable. It mirrors the LevelDB/RocksDB
+// design: every metadata change is a VersionEdit appended to the
+// MANIFEST (which reuses the WAL record format); applying an edit to
+// the current Version yields the next immutable Version; recovery
+// replays the MANIFEST from scratch.
+package manifest
+
+import (
+	"fmt"
+	"sort"
+
+	"xpointdb/internal/keys"
+)
+
+// NumLevels is the number of levels in the tree (L0..L6), matching
+// RocksDB's default num_levels = 7.
+const NumLevels = 7
+
+// FileMeta describes one SST file.
+type FileMeta struct {
+	// Num is the file number (NNNNNN.sst).
+	Num uint64
+	// Size is the file size in bytes.
+	Size int64
+	// Smallest and Largest are the bounding internal keys.
+	Smallest []byte
+	Largest  []byte
+}
+
+// ContainsUserKey reports whether the file's key range may contain
+// userKey.
+func (f *FileMeta) ContainsUserKey(userKey []byte) bool {
+	return keys.CompareUserKeys(userKey, keys.UserKey(f.Smallest)) >= 0 &&
+		keys.CompareUserKeys(userKey, keys.UserKey(f.Largest)) <= 0
+}
+
+// Version is an immutable snapshot of the file layout. Files[0] holds
+// the Level-0 files ordered oldest→newest (ascending file number);
+// levels 1+ are ordered by smallest key with disjoint ranges.
+type Version struct {
+	Files [NumLevels][]*FileMeta
+}
+
+// NumFiles returns the file count at level.
+func (v *Version) NumFiles(level int) int { return len(v.Files[level]) }
+
+// LevelBytes returns the total file bytes at level.
+func (v *Version) LevelBytes(level int) int64 {
+	var n int64
+	for _, f := range v.Files[level] {
+		n += f.Size
+	}
+	return n
+}
+
+// TotalFiles returns the file count across all levels.
+func (v *Version) TotalFiles() int {
+	n := 0
+	for l := range v.Files {
+		n += len(v.Files[l])
+	}
+	return n
+}
+
+// L0Newest returns the L0 files ordered newest→oldest, the order the
+// read path must probe them in.
+func (v *Version) L0Newest() []*FileMeta {
+	src := v.Files[0]
+	out := make([]*FileMeta, len(src))
+	for i, f := range src {
+		out[len(src)-1-i] = f
+	}
+	return out
+}
+
+// Overlaps returns the files at level whose user-key range intersects
+// [smallest, largest]. For L0 every overlapping file is returned; for
+// deeper levels the files are contiguous.
+func (v *Version) Overlaps(level int, smallest, largest []byte) []*FileMeta {
+	var out []*FileMeta
+	for _, f := range v.Files[level] {
+		if keys.CompareUserKeys(keys.UserKey(f.Largest), smallest) < 0 {
+			continue
+		}
+		if largest != nil && keys.CompareUserKeys(keys.UserKey(f.Smallest), largest) > 0 {
+			if level == 0 {
+				continue
+			}
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// FileForKey returns the single file at a sorted level (≥1) that may
+// contain userKey, or nil. cmps counts binary-search comparisons for
+// the CPU cost model.
+func (v *Version) FileForKey(level int, userKey []byte) (f *FileMeta, cmps int) {
+	files := v.Files[level]
+	lo, hi := 0, len(files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cmps++
+		if keys.CompareUserKeys(keys.UserKey(files[mid].Largest), userKey) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(files) {
+		return nil, cmps
+	}
+	if keys.CompareUserKeys(userKey, keys.UserKey(files[lo].Smallest)) < 0 {
+		return nil, cmps
+	}
+	return files[lo], cmps
+}
+
+// clone returns a mutable deep-ish copy (FileMeta values are shared;
+// they are immutable once created).
+func (v *Version) clone() *Version {
+	nv := &Version{}
+	for l := range v.Files {
+		nv.Files[l] = append([]*FileMeta(nil), v.Files[l]...)
+	}
+	return nv
+}
+
+// Apply returns a new Version with edit applied.
+func (v *Version) Apply(edit *Edit) (*Version, error) {
+	nv := v.clone()
+	for _, d := range edit.Deleted {
+		files := nv.Files[d.Level]
+		idx := -1
+		for i, f := range files {
+			if f.Num == d.Num {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("manifest: delete of absent file %d at L%d", d.Num, d.Level)
+		}
+		nv.Files[d.Level] = append(append([]*FileMeta(nil), files[:idx]...), files[idx+1:]...)
+	}
+	for _, a := range edit.Added {
+		nv.Files[a.Level] = append(append([]*FileMeta(nil), nv.Files[a.Level]...), a.Meta)
+	}
+	for l := range nv.Files {
+		sortLevel(l, nv.Files[l])
+	}
+	if err := nv.checkInvariants(); err != nil {
+		return nil, err
+	}
+	return nv, nil
+}
+
+func sortLevel(level int, files []*FileMeta) {
+	if level == 0 {
+		sort.Slice(files, func(i, j int) bool { return files[i].Num < files[j].Num })
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return keys.Compare(files[i].Smallest, files[j].Smallest) < 0
+	})
+}
+
+// checkInvariants verifies sorted levels have disjoint, ordered ranges.
+func (v *Version) checkInvariants() error {
+	for l := 1; l < NumLevels; l++ {
+		files := v.Files[l]
+		for i := 1; i < len(files); i++ {
+			prev, cur := files[i-1], files[i]
+			if keys.CompareUserKeys(keys.UserKey(prev.Largest), keys.UserKey(cur.Smallest)) >= 0 {
+				return fmt.Errorf("manifest: L%d files %d and %d overlap: %s ≥ %s",
+					l, prev.Num, cur.Num, keys.String(prev.Largest), keys.String(cur.Smallest))
+			}
+		}
+	}
+	return nil
+}
+
+// DebugString renders the layout for logs and tests.
+func (v *Version) DebugString() string {
+	s := ""
+	for l := 0; l < NumLevels; l++ {
+		if len(v.Files[l]) == 0 {
+			continue
+		}
+		s += fmt.Sprintf("L%d:", l)
+		for _, f := range v.Files[l] {
+			s += fmt.Sprintf(" %d(%dB)", f.Num, f.Size)
+		}
+		s += "\n"
+	}
+	return s
+}

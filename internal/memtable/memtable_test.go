@@ -1,0 +1,156 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"xpointdb/internal/keys"
+)
+
+func TestGetNewestVisible(t *testing.T) {
+	m := New(1 << 20)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v1"))
+	m.Add(5, keys.KindSet, []byte("k"), []byte("v5"))
+	m.Add(9, keys.KindSet, []byte("k"), []byte("v9"))
+
+	v, found, deleted, _ := m.Get([]byte("k"), keys.MaxSeq)
+	if !found || deleted || string(v) != "v9" {
+		t.Fatalf("Get latest = %q %v %v", v, found, deleted)
+	}
+	v, found, _, _ = m.Get([]byte("k"), 6)
+	if !found || string(v) != "v5" {
+		t.Fatalf("Get at snapshot 6 = %q", v)
+	}
+	v, found, _, _ = m.Get([]byte("k"), 1)
+	if !found || string(v) != "v1" {
+		t.Fatalf("Get at snapshot 1 = %q", v)
+	}
+	_, found, _, _ = m.Get([]byte("k"), 0)
+	if found {
+		t.Fatal("Get below all seqs should miss")
+	}
+}
+
+func TestGetTombstone(t *testing.T) {
+	m := New(1 << 20)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v"))
+	m.Add(2, keys.KindDelete, []byte("k"), nil)
+	_, found, deleted, _ := m.Get([]byte("k"), keys.MaxSeq)
+	if !found || !deleted {
+		t.Fatalf("tombstone: found=%v deleted=%v", found, deleted)
+	}
+	// Older snapshot still sees the value.
+	v, found, deleted, _ := m.Get([]byte("k"), 1)
+	if !found || deleted || string(v) != "v" {
+		t.Fatalf("pre-delete snapshot = %q %v %v", v, found, deleted)
+	}
+}
+
+func TestGetAbsent(t *testing.T) {
+	m := New(1 << 20)
+	m.Add(1, keys.KindSet, []byte("b"), []byte("v"))
+	if _, found, _, _ := m.Get([]byte("a"), keys.MaxSeq); found {
+		t.Fatal("absent key found (before)")
+	}
+	if _, found, _, _ := m.Get([]byte("c"), keys.MaxSeq); found {
+		t.Fatal("absent key found (after)")
+	}
+}
+
+func TestFullAndBudget(t *testing.T) {
+	m := New(1000)
+	if m.Full() {
+		t.Fatal("empty memtable full")
+	}
+	m.Add(1, keys.KindSet, []byte("k"), make([]byte, 2000))
+	if !m.Full() {
+		t.Fatalf("oversized memtable not full: size=%d", m.ApproximateSize())
+	}
+	if m.Budget() != 1000 {
+		t.Fatalf("Budget = %d", m.Budget())
+	}
+}
+
+func TestIterSorted(t *testing.T) {
+	m := New(1 << 20)
+	for i := 99; i >= 0; i-- {
+		m.Add(uint64(100-i), keys.KindSet, []byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	it := m.NewIter()
+	n := 0
+	var prev []byte
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if prev != nil && keys.Compare(prev, it.Key()) >= 0 {
+			t.Fatal("iteration out of order")
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("iterated %d", n)
+	}
+}
+
+func TestIterSeekGE(t *testing.T) {
+	m := New(1 << 20)
+	m.Add(1, keys.KindSet, []byte("aa"), nil)
+	m.Add(2, keys.KindSet, []byte("cc"), nil)
+	it := m.NewIter()
+	it.SeekGE(keys.SearchKey([]byte("bb"), keys.MaxSeq))
+	if !it.Valid() || !bytes.Equal(keys.UserKey(it.Key()), []byte("cc")) {
+		t.Fatalf("SeekGE landed on %s", keys.String(it.Key()))
+	}
+}
+
+func TestCountAndEmpty(t *testing.T) {
+	m := New(1 << 20)
+	if !m.Empty() {
+		t.Fatal("new memtable not empty")
+	}
+	m.Add(1, keys.KindSet, []byte("a"), nil)
+	m.Add(2, keys.KindDelete, []byte("a"), nil)
+	if m.Empty() || m.Count() != 2 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+}
+
+func TestSnapshotVisibilityProperty(t *testing.T) {
+	// For any set of versions of one key, Get(key, snap) returns the
+	// newest version with seq ≤ snap.
+	f := func(seqsRaw []uint16, snapRaw uint16) bool {
+		if len(seqsRaw) == 0 {
+			return true
+		}
+		m := New(1 << 20)
+		seen := map[uint64]bool{}
+		var max uint64
+		for _, s := range seqsRaw {
+			seq := uint64(s) + 1
+			if seen[seq] {
+				continue
+			}
+			seen[seq] = true
+			m.Add(seq, keys.KindSet, []byte("k"), []byte(fmt.Sprintf("v%d", seq)))
+			if seq > max {
+				max = seq
+			}
+		}
+		snap := uint64(snapRaw)
+		var want uint64
+		for seq := range seen {
+			if seq <= snap && seq > want {
+				want = seq
+			}
+		}
+		v, found, _, _ := m.Get([]byte("k"), snap)
+		if want == 0 {
+			return !found
+		}
+		return found && string(v) == fmt.Sprintf("v%d", want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xpointdb/internal/keys"
+)
+
+func TestSeekToLastAndPrev(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.Insert(ik(fmt.Sprintf("k%03d", i), uint64(i+1)), []byte("v"))
+	}
+	it := s.NewIterator()
+	it.SeekToLast()
+	if !it.Valid() || !bytes.Equal(keys.UserKey(it.Key()), []byte("k099")) {
+		t.Fatalf("SeekToLast = %s", keys.String(it.Key()))
+	}
+	for i := 98; i >= 0; i-- {
+		it.Prev()
+		if !it.Valid() || !bytes.Equal(keys.UserKey(it.Key()), []byte(fmt.Sprintf("k%03d", i))) {
+			t.Fatalf("Prev at %d = %s", i, keys.String(it.Key()))
+		}
+	}
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("Prev before first valid")
+	}
+}
+
+func TestSeekLT(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i += 10 {
+		s.Insert(ik(fmt.Sprintf("k%02d", i), 1), []byte("v"))
+	}
+	it := s.NewIterator()
+	it.SeekLT(ik("k55", keys.MaxSeq))
+	if !it.Valid() || !bytes.Equal(keys.UserKey(it.Key()), []byte("k50")) {
+		t.Fatalf("SeekLT(k55) = %s", keys.String(it.Key()))
+	}
+	it.SeekLT(ik("k00", keys.MaxSeq))
+	if it.Valid() {
+		t.Fatal("SeekLT before first valid")
+	}
+	it.SeekLT(ik("zzz", 1))
+	if !it.Valid() || !bytes.Equal(keys.UserKey(it.Key()), []byte("k90")) {
+		t.Fatalf("SeekLT(zzz) = %s", keys.String(it.Key()))
+	}
+}
+
+func TestSeekToLastEmpty(t *testing.T) {
+	s := New()
+	it := s.NewIterator()
+	it.SeekToLast()
+	if it.Valid() {
+		t.Fatal("SeekToLast on empty list valid")
+	}
+}
+
+func TestForwardBackwardAgree(t *testing.T) {
+	s := New()
+	for i := 0; i < 500; i++ {
+		s.Insert(ik(fmt.Sprintf("key-%06d", i*7%500), uint64(i+1)), nil)
+	}
+	var fwd [][]byte
+	it := s.NewIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		fwd = append(fwd, append([]byte(nil), it.Key()...))
+	}
+	i := len(fwd) - 1
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		if i < 0 || !bytes.Equal(it.Key(), fwd[i]) {
+			t.Fatalf("backward mismatch at %d", i)
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("backward scan saw %d fewer entries", i+1)
+	}
+}

@@ -1,0 +1,332 @@
+// Package sstable implements Sorted Sequence Table files: the on-disk
+// format of the LSM tree. A table is a sequence of prefix-compressed
+// data blocks followed by a Bloom filter block, an index block, and a
+// fixed-size footer:
+//
+//	[data block 0][data block 1]...[filter block][index block][footer]
+//
+// Each block on disk is followed by a 5-byte trailer (compression type
+// byte — always 0/none — and a CRC-32C). Within a block, entries are
+// prefix-compressed with restart points every 16 entries, exactly as
+// in LevelDB/RocksDB. The index block maps separator keys to data
+// block handles. The Bloom filter covers the table's user keys.
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xpointdb/internal/keys"
+)
+
+// restartInterval is the number of entries between full (uncompressed)
+// keys within a block.
+const restartInterval = 16
+
+// blockBuilder accumulates entries into one block.
+type blockBuilder struct {
+	buf      []byte
+	restarts []uint32
+	counter  int
+	lastKey  []byte
+}
+
+func (b *blockBuilder) reset() {
+	b.buf = b.buf[:0]
+	b.restarts = b.restarts[:0]
+	b.counter = 0
+	b.lastKey = b.lastKey[:0]
+}
+
+// add appends an entry. Keys must be added in ascending order.
+func (b *blockBuilder) add(key, value []byte) {
+	shared := 0
+	if b.counter < restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+		b.counter = 0
+	}
+	if len(b.restarts) == 0 {
+		b.restarts = append(b.restarts, 0)
+	}
+	b.buf = binary.AppendUvarint(b.buf, uint64(shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(key)-shared))
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(value)))
+	b.buf = append(b.buf, key[shared:]...)
+	b.buf = append(b.buf, value...)
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+}
+
+// finish appends the restart array and returns the block contents.
+func (b *blockBuilder) finish() []byte {
+	if len(b.restarts) == 0 {
+		b.restarts = append(b.restarts, 0)
+	}
+	for _, r := range b.restarts {
+		b.buf = binary.LittleEndian.AppendUint32(b.buf, r)
+	}
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(b.restarts)))
+	return b.buf
+}
+
+func (b *blockBuilder) empty() bool { return len(b.buf) == 0 }
+
+// estimatedSize returns the current size of the block if finished now.
+func (b *blockBuilder) estimatedSize() int {
+	return len(b.buf) + 4*len(b.restarts) + 4
+}
+
+// blockIter iterates over one decoded block.
+type blockIter struct {
+	data     []byte // entry region (restart array stripped)
+	restarts []uint32
+	off      int // offset of current entry within data
+	nextOff  int
+	key      []byte
+	val      []byte
+	valid    bool
+	err      error
+	// cmps counts key comparisons for the CPU cost model.
+	cmps int
+}
+
+// newBlockIter parses the block contents (as produced by
+// blockBuilder.finish, trailer already stripped).
+func newBlockIter(contents []byte) (*blockIter, error) {
+	if len(contents) < 4 {
+		return nil, fmt.Errorf("sstable: block too short (%d bytes)", len(contents))
+	}
+	n := int(binary.LittleEndian.Uint32(contents[len(contents)-4:]))
+	restartEnd := len(contents) - 4
+	restartStart := restartEnd - 4*n
+	if n <= 0 || restartStart < 0 {
+		return nil, fmt.Errorf("sstable: bad restart count %d", n)
+	}
+	restarts := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		restarts[i] = binary.LittleEndian.Uint32(contents[restartStart+4*i:])
+	}
+	return &blockIter{data: contents[:restartStart], restarts: restarts}, nil
+}
+
+// decodeAt decodes the entry at off, building the full key from prev.
+func (it *blockIter) decodeAt(off int) bool {
+	if off >= len(it.data) {
+		it.valid = false
+		return false
+	}
+	p := it.data[off:]
+	shared, n1 := binary.Uvarint(p)
+	if n1 <= 0 {
+		it.corrupt(off)
+		return false
+	}
+	p = p[n1:]
+	unshared, n2 := binary.Uvarint(p)
+	if n2 <= 0 {
+		it.corrupt(off)
+		return false
+	}
+	p = p[n2:]
+	vlen, n3 := binary.Uvarint(p)
+	if n3 <= 0 {
+		it.corrupt(off)
+		return false
+	}
+	p = p[n3:]
+	if uint64(len(p)) < unshared+vlen || uint64(len(it.key)) < shared {
+		it.corrupt(off)
+		return false
+	}
+	it.key = append(it.key[:shared], p[:unshared]...)
+	it.val = p[unshared : unshared+vlen]
+	it.off = off
+	it.nextOff = off + n1 + n2 + n3 + int(unshared) + int(vlen)
+	it.valid = true
+	return true
+}
+
+func (it *blockIter) corrupt(off int) {
+	it.err = fmt.Errorf("sstable: corrupt block entry at offset %d", off)
+	it.valid = false
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *blockIter) Valid() bool { return it.valid && it.err == nil }
+
+// Key returns the current internal key.
+func (it *blockIter) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *blockIter) Value() []byte { return it.val }
+
+// Error returns any decoding error.
+func (it *blockIter) Error() error { return it.err }
+
+// Close is a no-op (blocks are in-memory).
+func (it *blockIter) Close() error { return it.err }
+
+// SeekToFirst positions at the first entry.
+func (it *blockIter) SeekToFirst() {
+	it.key = it.key[:0]
+	it.decodeAt(0)
+}
+
+// Next advances to the next entry.
+func (it *blockIter) Next() {
+	if !it.valid {
+		return
+	}
+	it.decodeAt(it.nextOff)
+}
+
+// SeekToLast positions at the last entry.
+func (it *blockIter) SeekToLast() {
+	if len(it.restarts) == 0 {
+		it.valid = false
+		return
+	}
+	it.key = it.key[:0]
+	if !it.decodeAt(int(it.restarts[len(it.restarts)-1])) {
+		return
+	}
+	for it.nextOff < len(it.data) {
+		if !it.decodeAt(it.nextOff) {
+			return
+		}
+	}
+}
+
+// SeekLT positions at the last entry with key < target.
+func (it *blockIter) SeekLT(target []byte) {
+	// Binary search restarts for the last one with key < target, then
+	// scan forward keeping the last entry still below target.
+	lo, hi := 0, len(it.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		it.key = it.key[:0]
+		if !it.decodeAt(int(it.restarts[mid])) {
+			return
+		}
+		it.cmps++
+		if keys.Compare(it.key, target) < 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	it.key = it.key[:0]
+	if !it.decodeAt(int(it.restarts[lo])) {
+		return
+	}
+	it.cmps++
+	if keys.Compare(it.key, target) >= 0 {
+		// Even the first candidate is ≥ target: nothing before it.
+		it.valid = false
+		return
+	}
+	for it.nextOff < len(it.data) {
+		if !it.decodeAt(it.nextOff) {
+			return
+		}
+		it.cmps++
+		if keys.Compare(it.key, target) >= 0 {
+			// Step back to the entry ending where this one starts.
+			cur := it.off
+			it.key = it.key[:0]
+			it.seekToRestartThenOffset(cur)
+			return
+		}
+	}
+}
+
+// Prev moves to the previous entry (invalid at the first entry).
+func (it *blockIter) Prev() {
+	if !it.valid {
+		return
+	}
+	if it.off == 0 {
+		it.valid = false
+		return
+	}
+	target := it.off
+	it.key = it.key[:0]
+	it.seekToRestartThenOffset(target)
+}
+
+// seekToRestartThenOffset positions at the entry that ENDS at target
+// (i.e. whose nextOff == target) by decoding forward from the nearest
+// restart at or before it. Callers must reset it.key first when the
+// current key state does not correspond to the restart chain.
+func (it *blockIter) seekToRestartThenOffset(target int) {
+	// Find the last restart strictly before target (an entry at a
+	// restart offset == target means the predecessor is in the
+	// previous restart group... but restart offsets are entry
+	// starts, so the predecessor of an entry AT a restart offset
+	// still begins at or after the previous restart).
+	lo, hi := 0, len(it.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(it.restarts[mid]) < target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if !it.decodeAt(int(it.restarts[lo])) {
+		return
+	}
+	for it.nextOff < target {
+		if !it.decodeAt(it.nextOff) {
+			return
+		}
+	}
+	// Entries are contiguous, so the loop ends exactly at the entry
+	// whose nextOff == target.
+}
+
+// SeekGE positions at the first entry with key ≥ target using a binary
+// search over restart points followed by a linear scan.
+func (it *blockIter) SeekGE(target []byte) {
+	// Binary search restart points for the last one with key < target.
+	lo, hi := 0, len(it.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		it.key = it.key[:0]
+		if !it.decodeAt(int(it.restarts[mid])) {
+			return
+		}
+		it.cmps++
+		if keys.Compare(it.key, target) < 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	it.key = it.key[:0]
+	if !it.decodeAt(int(it.restarts[lo])) {
+		return
+	}
+	for it.valid {
+		it.cmps++
+		if keys.Compare(it.key, target) >= 0 {
+			return
+		}
+		it.decodeAt(it.nextOff)
+	}
+}
+
+// Cmps returns and resets the comparison counter.
+func (it *blockIter) Cmps() int {
+	c := it.cmps
+	it.cmps = 0
+	return c
+}

@@ -1,0 +1,40 @@
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// flateCompress DEFLATEs contents, returning ok=false when the result
+// saves less than 1/8 of the original size (LevelDB's rule: storing
+// nearly-incompressible blocks raw avoids pointless decompression).
+func flateCompress(contents []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := w.Write(contents); err != nil {
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(contents)-len(contents)/8 {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// flateDecompress inflates a compressed block.
+func flateDecompress(compressed []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(compressed))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("inflate: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package sstable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xpointdb/internal/keys"
+)
+
+func TestIterBackwardFullScan(t *testing.T) {
+	const n = 3000
+	r, _ := buildTable(t, n, nil, DefaultBuilderOptions())
+	it := r.NewIter()
+	i := n - 1
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		want := fmt.Sprintf("key-%06d", i)
+		if string(keys.UserKey(it.Key())) != want {
+			t.Fatalf("backward position %d = %s, want %s", i, keys.String(it.Key()), want)
+		}
+		if wantV := fmt.Sprintf("value-%06d", i); string(it.Value()) != wantV {
+			t.Fatalf("backward value %d = %q", i, it.Value())
+		}
+		i--
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if i != -1 {
+		t.Fatalf("backward scan stopped at %d", i)
+	}
+}
+
+func TestIterSeekLT(t *testing.T) {
+	r, _ := buildTable(t, 1000, nil, DefaultBuilderOptions())
+	it := r.NewIter()
+	it.SeekLT(keys.SearchKey([]byte("key-000500"), keys.MaxSeq))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "key-000499" {
+		t.Fatalf("SeekLT(500) = %s", keys.String(it.Key()))
+	}
+	it.SeekLT(keys.SearchKey([]byte("zzz"), keys.MaxSeq))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "key-000999" {
+		t.Fatalf("SeekLT(zzz) = %s", keys.String(it.Key()))
+	}
+	it.SeekLT(keys.SearchKey([]byte("key-000000"), keys.MaxSeq))
+	if it.Valid() {
+		t.Fatal("SeekLT before first valid")
+	}
+}
+
+func TestIterDirectionSwitches(t *testing.T) {
+	r, _ := buildTable(t, 500, nil, DefaultBuilderOptions())
+	it := r.NewIter()
+	it.SeekGE(keys.SearchKey([]byte("key-000250"), keys.MaxSeq))
+	if string(keys.UserKey(it.Key())) != "key-000250" {
+		t.Fatalf("seek = %s", keys.String(it.Key()))
+	}
+	it.Next() // 251
+	it.Prev() // 250
+	if string(keys.UserKey(it.Key())) != "key-000250" {
+		t.Fatalf("next-prev = %s", keys.String(it.Key()))
+	}
+	it.Prev() // 249
+	if string(keys.UserKey(it.Key())) != "key-000249" {
+		t.Fatalf("prev = %s", keys.String(it.Key()))
+	}
+	it.Next() // 250
+	if string(keys.UserKey(it.Key())) != "key-000250" {
+		t.Fatalf("prev-next = %s", keys.String(it.Key()))
+	}
+}
+
+func TestIterBackwardTinyBlocks(t *testing.T) {
+	// Tiny blocks force many block boundaries on the backward walk.
+	opts := BuilderOptions{BlockSize: 64, BloomBitsPerKey: 10}
+	const n = 700
+	r, _ := buildTable(t, n, nil, opts)
+	it := r.NewIter()
+	i := n - 1
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		if string(keys.UserKey(it.Key())) != fmt.Sprintf("key-%06d", i) {
+			t.Fatalf("tiny-block backward at %d = %s", i, keys.String(it.Key()))
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("stopped at %d", i)
+	}
+}
+
+func TestIterRandomWalkMatchesIndex(t *testing.T) {
+	const n = 400
+	r, _ := buildTable(t, n, nil, BuilderOptions{BlockSize: 256, BloomBitsPerKey: 10})
+	it := r.NewIter()
+	rng := rand.New(rand.NewSource(7))
+	pos := n / 2
+	it.SeekGE(keys.SearchKey([]byte(fmt.Sprintf("key-%06d", pos)), keys.MaxSeq))
+	for step := 0; step < 500; step++ {
+		if rng.Intn(2) == 0 && pos < n-1 {
+			it.Next()
+			pos++
+		} else if pos > 0 {
+			it.Prev()
+			pos--
+		} else {
+			continue
+		}
+		if !it.Valid() {
+			t.Fatalf("step %d: invalid at pos %d", step, pos)
+		}
+		want := fmt.Sprintf("key-%06d", pos)
+		if string(keys.UserKey(it.Key())) != want {
+			t.Fatalf("step %d: %s, want %s", step, keys.String(it.Key()), want)
+		}
+	}
+}

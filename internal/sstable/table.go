@@ -1,0 +1,585 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"xpointdb/internal/bloom"
+	"xpointdb/internal/cache"
+	"xpointdb/internal/iterator"
+	"xpointdb/internal/keys"
+	"xpointdb/internal/vfs"
+)
+
+// Compression selects the block compression codec.
+type Compression byte
+
+const (
+	// NoCompression stores blocks raw.
+	NoCompression Compression = 0
+	// FlateCompression compresses blocks with DEFLATE (stdlib
+	// compress/flate); a block is stored raw anyway when compression
+	// saves less than 1/8 of its size, as in LevelDB.
+	FlateCompression Compression = 1
+)
+
+const (
+	// blockTrailerLen is the per-block on-disk trailer: compression
+	// type (1 byte) + CRC-32C (4 bytes).
+	blockTrailerLen = 5
+
+	// footerLen is the fixed footer: two padded block handles
+	// (filter, index: 2×10 bytes each) + magic.
+	footerLen = 48
+
+	tableMagic = 0x7870646273737431 // "xpdbsst1"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// blockHandle locates a block within the file.
+type blockHandle struct {
+	offset uint64
+	length uint64 // excluding trailer
+}
+
+func (h blockHandle) encodeTo(dst []byte) int {
+	n := binary.PutUvarint(dst, h.offset)
+	n += binary.PutUvarint(dst[n:], h.length)
+	return n
+}
+
+func decodeHandle(p []byte) (blockHandle, int, error) {
+	off, n1 := binary.Uvarint(p)
+	if n1 <= 0 {
+		return blockHandle{}, 0, fmt.Errorf("sstable: bad handle offset")
+	}
+	length, n2 := binary.Uvarint(p[n1:])
+	if n2 <= 0 {
+		return blockHandle{}, 0, fmt.Errorf("sstable: bad handle length")
+	}
+	return blockHandle{offset: off, length: length}, n1 + n2, nil
+}
+
+// BuilderOptions configures table construction.
+type BuilderOptions struct {
+	// BlockSize is the uncompressed data block size target.
+	BlockSize int
+	// BloomBitsPerKey sizes the table's Bloom filter; 0 disables it.
+	BloomBitsPerKey int
+	// Compression selects the data block codec (default none).
+	Compression Compression
+}
+
+// DefaultBuilderOptions mirrors RocksDB defaults: 4 KiB blocks,
+// 10-bit Bloom filters.
+func DefaultBuilderOptions() BuilderOptions {
+	return BuilderOptions{BlockSize: 4096, BloomBitsPerKey: 10}
+}
+
+// Builder writes a table to a file. Entries must be added in ascending
+// internal-key order. Call Finish, then sync/close the file.
+type Builder struct {
+	f    vfs.File
+	opts BuilderOptions
+
+	data   blockBuilder
+	index  blockBuilder
+	offset uint64
+
+	pendingHandle blockHandle
+	pendingKey    []byte // last key of the just-finished block
+	havePending   bool
+
+	filterKeys [][]byte // user keys for the Bloom filter
+	numEntries int
+	smallest   []byte
+	largest    []byte
+	err        error
+}
+
+// NewBuilder returns a Builder writing to f.
+func NewBuilder(f vfs.File, opts BuilderOptions) *Builder {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = 4096
+	}
+	return &Builder{f: f, opts: opts}
+}
+
+// Add appends an entry. Keys must arrive in strictly ascending order.
+func (b *Builder) Add(ikey, value []byte) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.largest != nil && keys.Compare(ikey, b.largest) <= 0 {
+		b.err = fmt.Errorf("sstable: keys out of order: %s then %s", keys.String(b.largest), keys.String(ikey))
+		return b.err
+	}
+	if b.havePending {
+		b.flushIndexEntry(ikey)
+	}
+	if b.smallest == nil {
+		b.smallest = append([]byte(nil), ikey...)
+	}
+	b.largest = append(b.largest[:0], ikey...)
+	if b.opts.BloomBitsPerKey > 0 {
+		b.filterKeys = append(b.filterKeys, append([]byte(nil), keys.UserKey(ikey)...))
+	}
+	b.data.add(ikey, value)
+	b.numEntries++
+	if b.data.estimatedSize() >= b.opts.BlockSize {
+		if err := b.finishDataBlock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushIndexEntry emits the index entry for the finished block using a
+// separator key: the shortest key ≥ last key of the block and < the
+// first key of the next block (or the last key itself if next is nil).
+func (b *Builder) flushIndexEntry(next []byte) {
+	sep := separator(b.pendingKey, next)
+	var hbuf [20]byte
+	n := b.pendingHandle.encodeTo(hbuf[:])
+	b.index.add(sep, hbuf[:n])
+	b.havePending = false
+}
+
+// separator returns a key k with prev ≤ k < next (internal-key order)
+// that is as short as possible. With next == nil it returns prev.
+func separator(prev, next []byte) []byte {
+	if next == nil {
+		return prev
+	}
+	// Shorten the user-key portion where possible.
+	up, un := keys.UserKey(prev), keys.UserKey(next)
+	n := len(up)
+	if len(un) < n {
+		n = len(un)
+	}
+	i := 0
+	for i < n && up[i] == un[i] {
+		i++
+	}
+	if i < n && up[i]+1 < un[i] {
+		short := make([]byte, i+1)
+		copy(short, up[:i])
+		short[i] = up[i] + 1
+		// Append a max trailer so the separator sorts before any
+		// real entry with that user key.
+		return keys.AppendTrailer(short, keys.MaxSeq, keys.Kind(0xff))
+	}
+	return prev
+}
+
+func (b *Builder) finishDataBlock() error {
+	if b.data.empty() {
+		return nil
+	}
+	contents := b.data.finish()
+	h, err := b.writeDataBlock(contents)
+	if err != nil {
+		b.err = err
+		return err
+	}
+	b.pendingHandle = h
+	b.pendingKey = append(b.pendingKey[:0], b.data.lastKey...)
+	b.havePending = true
+	b.data.reset()
+	return nil
+}
+
+// writeRawBlock stores contents uncompressed (used for filter and
+// index blocks, and as the data-block fallback).
+func (b *Builder) writeRawBlock(contents []byte) (blockHandle, error) {
+	return b.writeBlock(contents, NoCompression)
+}
+
+// writeDataBlock applies the configured codec, falling back to raw
+// storage when compression is not worthwhile.
+func (b *Builder) writeDataBlock(contents []byte) (blockHandle, error) {
+	if b.opts.Compression == FlateCompression {
+		if compressed, ok := flateCompress(contents); ok {
+			return b.writeBlock(compressed, FlateCompression)
+		}
+	}
+	return b.writeBlock(contents, NoCompression)
+}
+
+func (b *Builder) writeBlock(contents []byte, codec Compression) (blockHandle, error) {
+	h := blockHandle{offset: b.offset, length: uint64(len(contents))}
+	var trailer [blockTrailerLen]byte
+	trailer[0] = byte(codec)
+	crc := crc32.Update(0, crcTable, contents)
+	crc = crc32.Update(crc, crcTable, trailer[:1])
+	binary.LittleEndian.PutUint32(trailer[1:], crc)
+	if _, err := b.f.Write(contents); err != nil {
+		return h, fmt.Errorf("sstable: write block: %w", err)
+	}
+	if _, err := b.f.Write(trailer[:]); err != nil {
+		return h, fmt.Errorf("sstable: write trailer: %w", err)
+	}
+	b.offset += uint64(len(contents)) + blockTrailerLen
+	return h, nil
+}
+
+// Finish writes the filter and index blocks and the footer. It returns
+// the total file size. The caller owns syncing and closing the file.
+func (b *Builder) Finish() (int64, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	if err := b.finishDataBlock(); err != nil {
+		return 0, err
+	}
+	if b.havePending {
+		b.flushIndexEntry(nil)
+	}
+
+	var filterHandle blockHandle
+	if b.opts.BloomBitsPerKey > 0 && len(b.filterKeys) > 0 {
+		f := bloom.New(b.filterKeys, b.opts.BloomBitsPerKey)
+		h, err := b.writeRawBlock([]byte(f))
+		if err != nil {
+			return 0, err
+		}
+		filterHandle = h
+	}
+	indexContents := b.index.finish()
+	indexHandle, err := b.writeRawBlock(indexContents)
+	if err != nil {
+		return 0, err
+	}
+
+	var footer [footerLen]byte
+	filterHandle.encodeTo(footer[0:])
+	indexHandle.encodeTo(footer[20:])
+	binary.LittleEndian.PutUint64(footer[footerLen-8:], tableMagic)
+	if _, err := b.f.Write(footer[:]); err != nil {
+		return 0, fmt.Errorf("sstable: write footer: %w", err)
+	}
+	b.offset += footerLen
+	return int64(b.offset), nil
+}
+
+// NumEntries returns the number of entries added so far.
+func (b *Builder) NumEntries() int { return b.numEntries }
+
+// EstimatedSize returns the current file size plus buffered data.
+func (b *Builder) EstimatedSize() int64 {
+	return int64(b.offset) + int64(b.data.estimatedSize())
+}
+
+// Smallest and Largest return copies of the bounding internal keys.
+func (b *Builder) Smallest() []byte { return append([]byte(nil), b.smallest...) }
+
+// Largest returns the largest internal key added.
+func (b *Builder) Largest() []byte { return append([]byte(nil), b.largest...) }
+
+// ---------------------------------------------------------------------
+// Reader
+
+// Reader provides random access into a finished table.
+type Reader struct {
+	f       vfs.File
+	fileNum uint64
+	size    int64
+	cache   *cache.Cache
+
+	index  []byte // decoded index block contents
+	filter bloom.Filter
+}
+
+// NewReader opens a table of the given size, reading footer, index and
+// filter eagerly (they are retained in memory, as RocksDB does with
+// table metadata pinned in the table cache). c may be nil to disable
+// block caching.
+func NewReader(f vfs.File, size int64, fileNum uint64, c *cache.Cache) (*Reader, error) {
+	if size < footerLen {
+		return nil, fmt.Errorf("sstable: file %d too small (%d bytes)", fileNum, size)
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
+		return nil, fmt.Errorf("sstable: read footer of %d: %w", fileNum, err)
+	}
+	if got := binary.LittleEndian.Uint64(footer[footerLen-8:]); got != tableMagic {
+		return nil, fmt.Errorf("sstable: bad magic %#x in file %d", got, fileNum)
+	}
+	filterHandle, _, err := decodeHandle(footer[0:20])
+	if err != nil {
+		return nil, err
+	}
+	indexHandle, _, err := decodeHandle(footer[20:40])
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f, fileNum: fileNum, size: size, cache: c}
+	r.index, err = r.readBlock(indexHandle)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: read index of %d: %w", fileNum, err)
+	}
+	if filterHandle.length > 0 {
+		fb, err := r.readBlock(filterHandle)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: read filter of %d: %w", fileNum, err)
+		}
+		r.filter = bloom.Filter(fb)
+	}
+	return r, nil
+}
+
+// readBlock reads, verifies, and decompresses a block, bypassing the
+// cache.
+func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
+	buf := make([]byte, h.length+blockTrailerLen)
+	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
+		return nil, err
+	}
+	contents, trailer := buf[:h.length], buf[h.length:]
+	crc := crc32.Update(0, crcTable, contents)
+	crc = crc32.Update(crc, crcTable, trailer[:1])
+	if want := binary.LittleEndian.Uint32(trailer[1:]); crc != want {
+		return nil, fmt.Errorf("sstable: block at %d fails checksum", h.offset)
+	}
+	switch Compression(trailer[0]) {
+	case NoCompression:
+		return contents, nil
+	case FlateCompression:
+		out, err := flateDecompress(contents)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: block at %d: %w", h.offset, err)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sstable: block at %d has unknown codec %d", h.offset, trailer[0])
+}
+
+// getBlock returns block contents via the cache.
+func (r *Reader) getBlock(h blockHandle) ([]byte, error) {
+	if r.cache == nil {
+		return r.readBlock(h)
+	}
+	if v, ok := r.cache.Get(r.fileNum, h.offset); ok {
+		return v, nil
+	}
+	contents, err := r.readBlock(h)
+	if err != nil {
+		return nil, err
+	}
+	r.cache.Insert(r.fileNum, h.offset, contents)
+	return contents, nil
+}
+
+// MayContain consults the Bloom filter for userKey. Without a filter it
+// returns true.
+func (r *Reader) MayContain(userKey []byte) bool {
+	if r.filter == nil {
+		return true
+	}
+	return r.filter.MayContain(userKey)
+}
+
+// Get returns the first entry with internal key ≥ ikey, if it exists in
+// this table. found=false means the table holds no such entry. cmps
+// reports the key comparisons performed (CPU cost accounting).
+func (r *Reader) Get(ikey []byte) (key, value []byte, cmps int, found bool, err error) {
+	idx, err := newBlockIter(r.index)
+	if err != nil {
+		return nil, nil, 0, false, err
+	}
+	idx.SeekGE(ikey)
+	cmps = idx.Cmps()
+	if !idx.Valid() {
+		return nil, nil, cmps, false, idx.Error()
+	}
+	h, _, err := decodeHandle(idx.Value())
+	if err != nil {
+		return nil, nil, cmps, false, err
+	}
+	contents, err := r.getBlock(h)
+	if err != nil {
+		return nil, nil, cmps, false, err
+	}
+	data, err := newBlockIter(contents)
+	if err != nil {
+		return nil, nil, cmps, false, err
+	}
+	data.SeekGE(ikey)
+	cmps += data.Cmps()
+	if !data.Valid() {
+		return nil, nil, cmps, false, data.Error()
+	}
+	return data.Key(), data.Value(), cmps, true, nil
+}
+
+// Size returns the file size.
+func (r *Reader) Size() int64 { return r.size }
+
+// Close closes the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// NewIter returns a two-level iterator over the whole table.
+func (r *Reader) NewIter() iterator.Iterator {
+	return &tableIter{r: r}
+}
+
+// tableIter is the classic two-level iterator: an index iterator
+// selecting data blocks, and a data iterator within the current block.
+type tableIter struct {
+	r    *Reader
+	idx  *blockIter
+	data *blockIter
+	err  error
+}
+
+func (t *tableIter) init() bool {
+	if t.idx == nil {
+		it, err := newBlockIter(t.r.index)
+		if err != nil {
+			t.err = err
+			return false
+		}
+		t.idx = it
+	}
+	return true
+}
+
+// loadData opens the data block at the current index position.
+func (t *tableIter) loadData() {
+	t.data = nil
+	if !t.idx.Valid() {
+		return
+	}
+	h, _, err := decodeHandle(t.idx.Value())
+	if err != nil {
+		t.err = err
+		return
+	}
+	contents, err := t.r.getBlock(h)
+	if err != nil {
+		t.err = err
+		return
+	}
+	d, err := newBlockIter(contents)
+	if err != nil {
+		t.err = err
+		return
+	}
+	t.data = d
+}
+
+// skipEmpty advances past exhausted data blocks.
+func (t *tableIter) skipEmpty() {
+	for t.err == nil && t.data != nil && !t.data.Valid() {
+		if err := t.data.Error(); err != nil {
+			t.err = err
+			return
+		}
+		t.idx.Next()
+		t.loadData()
+		if t.data != nil {
+			t.data.SeekToFirst()
+		}
+	}
+}
+
+// skipEmptyBackward steps back across exhausted data blocks.
+func (t *tableIter) skipEmptyBackward() {
+	for t.err == nil && t.data != nil && !t.data.Valid() {
+		if err := t.data.Error(); err != nil {
+			t.err = err
+			return
+		}
+		t.idx.Prev()
+		t.loadData()
+		if t.data != nil {
+			t.data.SeekToLast()
+		}
+	}
+}
+
+func (t *tableIter) Valid() bool {
+	return t.err == nil && t.data != nil && t.data.Valid()
+}
+
+func (t *tableIter) SeekGE(target []byte) {
+	if !t.init() {
+		return
+	}
+	t.idx.SeekGE(target)
+	t.loadData()
+	if t.data != nil {
+		t.data.SeekGE(target)
+	}
+	t.skipEmpty()
+}
+
+func (t *tableIter) SeekToFirst() {
+	if !t.init() {
+		return
+	}
+	t.idx.SeekToFirst()
+	t.loadData()
+	if t.data != nil {
+		t.data.SeekToFirst()
+	}
+	t.skipEmpty()
+}
+
+func (t *tableIter) Next() {
+	if !t.Valid() {
+		return
+	}
+	t.data.Next()
+	t.skipEmpty()
+}
+
+func (t *tableIter) SeekToLast() {
+	if !t.init() {
+		return
+	}
+	t.idx.SeekToLast()
+	t.loadData()
+	if t.data != nil {
+		t.data.SeekToLast()
+	}
+	t.skipEmptyBackward()
+}
+
+func (t *tableIter) SeekLT(target []byte) {
+	if !t.init() {
+		return
+	}
+	// The block that may contain entries < target is the one whose
+	// separator is ≥ target (same block SeekGE would search), or the
+	// last block when target is past everything.
+	t.idx.SeekGE(target)
+	if !t.idx.Valid() {
+		t.idx.SeekToLast()
+	}
+	t.loadData()
+	if t.data != nil {
+		t.data.SeekLT(target)
+	}
+	t.skipEmptyBackward()
+}
+
+func (t *tableIter) Prev() {
+	if !t.Valid() {
+		return
+	}
+	t.data.Prev()
+	t.skipEmptyBackward()
+}
+
+func (t *tableIter) Key() []byte   { return t.data.Key() }
+func (t *tableIter) Value() []byte { return t.data.Value() }
+func (t *tableIter) Error() error  { return t.err }
+
+// Close releases the iterator (the table's file stays open; the Reader
+// owns it).
+func (t *tableIter) Close() error { return t.err }
+
+var _ iterator.Iterator = (*tableIter)(nil)

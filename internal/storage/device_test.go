@@ -1,0 +1,224 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"xpointdb/internal/clock"
+	"xpointdb/internal/sim"
+)
+
+var t0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNullDeviceIsFree(t *testing.T) {
+	k := sim.New(t0)
+	d := New(k, Null())
+	k.Run(func() {
+		for i := 0; i < 100; i++ {
+			d.Read(4096)
+			d.Write(4096)
+			d.Sync()
+		}
+	})
+	if k.Elapsed() != 0 {
+		t.Fatalf("null device charged %v", k.Elapsed())
+	}
+	st := d.Stats()
+	if st.Reads != 100 || st.Writes != 100 || st.Syncs != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBaseLatencyCharged(t *testing.T) {
+	k := sim.New(t0)
+	d := New(k, Profile{Name: "d", ReadLatency: 10 * time.Microsecond, Parallelism: 1})
+	k.Run(func() {
+		for i := 0; i < 10; i++ {
+			d.Read(4096)
+		}
+	})
+	if got := k.Elapsed(); got != 100*time.Microsecond {
+		t.Fatalf("elapsed = %v, want 100µs", got)
+	}
+}
+
+func TestTransferTimeForLargePayloads(t *testing.T) {
+	k := sim.New(t0)
+	d := New(k, Profile{
+		Name:           "d",
+		WriteLatency:   10 * time.Microsecond,
+		WriteBandwidth: 1 << 20, // 1 MiB/s
+		Parallelism:    1,
+	})
+	k.Run(func() {
+		d.Write(4096 + 1<<20) // 1 MiB beyond the base op
+	})
+	want := 10*time.Microsecond + time.Second
+	if got := k.Elapsed(); got != want {
+		t.Fatalf("elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestParallelismOverlapsService(t *testing.T) {
+	// 4 concurrent reads on parallelism 4 take one service time; on
+	// parallelism 1 they serialize.
+	for _, par := range []int{1, 4} {
+		k := sim.New(t0)
+		d := New(k, Profile{Name: "d", ReadLatency: 100 * time.Microsecond, Parallelism: par})
+		k.Run(func() {
+			m := k.NewMutex()
+			c := k.NewCond(m)
+			left := 4
+			for i := 0; i < 4; i++ {
+				k.Go("r", func() {
+					d.Read(4096)
+					m.Lock()
+					left--
+					if left == 0 {
+						c.Broadcast()
+					}
+					m.Unlock()
+				})
+			}
+			m.Lock()
+			for left > 0 {
+				c.Wait()
+			}
+			m.Unlock()
+		})
+		want := 400 * time.Microsecond
+		if par == 4 {
+			want = 100 * time.Microsecond
+		}
+		if got := k.Elapsed(); got != want {
+			t.Fatalf("par=%d elapsed=%v want %v", par, got, want)
+		}
+	}
+}
+
+func TestFlashEraseStall(t *testing.T) {
+	k := sim.New(t0)
+	d := New(k, Profile{
+		Name:         "flash",
+		WriteLatency: 10 * time.Microsecond,
+		Parallelism:  1,
+		Flash:        &FlashProfile{EraseLatency: time.Millisecond, EraseEvery: 64 * 1024},
+	})
+	k.Run(func() {
+		for i := 0; i < 32; i++ { // 32 × 4 KiB = 128 KiB → 2 erase stalls
+			d.Write(4096)
+		}
+	})
+	st := d.Stats()
+	if st.EraseStalls != 2 {
+		t.Fatalf("erase stalls = %d, want 2", st.EraseStalls)
+	}
+	want := 32*10*time.Microsecond + 2*time.Millisecond
+	if got := k.Elapsed(); got != want {
+		t.Fatalf("elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestXPointHasNoEraseStalls(t *testing.T) {
+	k := sim.New(t0)
+	d := New(k, XPoint())
+	k.Run(func() {
+		for i := 0; i < 1000; i++ {
+			d.Write(4096)
+		}
+	})
+	if st := d.Stats(); st.EraseStalls != 0 {
+		t.Fatalf("xpoint erased: %+v", st)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := New(clock.Real{}, Null())
+	d.Read(10)
+	d.ResetStats()
+	if st := d.Stats(); st.Reads != 0 {
+		t.Fatalf("stats after reset: %+v", st)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"sata", "sata-flash", "pcie", "pcie-flash", "xpoint", "optane", "3dxpoint", "nvm", "null"} {
+		if _, ok := ProfileByName(name); !ok {
+			t.Errorf("ProfileByName(%q) failed", name)
+		}
+	}
+	if _, ok := ProfileByName("floppy"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestCalibrationRelationships(t *testing.T) {
+	// The calibrated profiles must preserve the paper's ordering:
+	// XPoint read latency ≪ PCIe flash < SATA flash; XPoint has no
+	// erase; flash write latency at device level is not worse than
+	// reads (write-back caches).
+	sata, pcie, xp := SATAFlash(), PCIeFlash(), XPoint()
+	if !(xp.ReadLatency < pcie.ReadLatency && pcie.ReadLatency < sata.ReadLatency) {
+		t.Fatal("read latency ordering broken")
+	}
+	if xp.Flash != nil {
+		t.Fatal("xpoint must not have a flash FTL model")
+	}
+	if sata.Flash == nil || pcie.Flash == nil {
+		t.Fatal("flash devices need the FTL model")
+	}
+	if sata.ReadLatency < 10*xp.ReadLatency {
+		t.Fatal("SATA/XPoint read gap should be at least 10×")
+	}
+}
+
+func TestRawFig1Calibration(t *testing.T) {
+	// The raw-device experiment behind Figure 1: 8 workers, 1:1 mix
+	// of 4 KiB ops. The paper's speedup is 15.7×; the models should
+	// land within a factor of ~2 of that.
+	tp := func(p Profile) float64 {
+		k := sim.New(t0)
+		d := New(k, p)
+		var ops int64
+		k.Run(func() {
+			m := k.NewMutex()
+			c := k.NewCond(m)
+			left := 8
+			for w := 0; w < 8; w++ {
+				w := w
+				k.Go("w", func() {
+					end := t0.Add(2 * time.Second)
+					i := 0
+					for k.Now().Before(end) {
+						if (i+w)%2 == 0 {
+							d.Read(4096)
+						} else {
+							d.Write(4096)
+						}
+						i++
+					}
+					m.Lock()
+					ops += int64(i)
+					left--
+					if left == 0 {
+						c.Broadcast()
+					}
+					m.Unlock()
+				})
+			}
+			m.Lock()
+			for left > 0 {
+				c.Wait()
+			}
+			m.Unlock()
+		})
+		return float64(ops) / k.Elapsed().Seconds()
+	}
+	sata := tp(SATAFlash())
+	xp := tp(XPoint())
+	speedup := xp / sata
+	if speedup < 8 || speedup > 32 {
+		t.Fatalf("raw speedup = %.1f×, want ≈15.7× (sata %.0f, xpoint %.0f op/s)", speedup, sata, xp)
+	}
+	t.Logf("raw: sata=%.1f kop/s xpoint=%.1f kop/s speedup=%.1f×", sata/1000, xp/1000, speedup)
+}

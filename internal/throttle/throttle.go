@@ -1,0 +1,234 @@
+// Package throttle implements RocksDB's write controller as described
+// by the paper's Algorithm 1 (WRITE CONTROL PROCESS), plus the paper's
+// case-study-A "two-stage throttling" variant.
+//
+// The controller is a token bucket refilled at delayed_write_rate with
+// a minimum injected delay of refill_interval (1024 µs). When the
+// engine reports that compaction is falling behind, the rate is
+// multiplied by Dec = 0.8; when it is keeping up, by Inc = 1.25. The
+// paper's Analysis #1 shows the consequence: once throttling engages,
+// application throughput collapses to roughly
+//
+//	λa = t/(refill_interval + t) · λs
+//
+// independent of how fast the device is — the bottleneck the paper
+// calls out on 3D XPoint.
+package throttle
+
+import (
+	"sync"
+	"time"
+
+	"xpointdb/internal/clock"
+)
+
+// Algorithm 1 constants.
+const (
+	// Dec and Inc are the multiplicative rate adjustments.
+	Dec = 0.8
+	Inc = 1.25
+	// RefillInterval is the minimum injected delay period.
+	RefillInterval = 1024 * time.Microsecond
+)
+
+// Mode selects the throttling policy.
+type Mode int
+
+const (
+	// ModeNone disables write delays entirely (stops still apply).
+	ModeNone Mode = iota
+	// ModeAlgorithm1 is the paper's Algorithm 1 (RocksDB default).
+	ModeAlgorithm1
+	// ModeTwoStage is case study A: a gentle fixed-floor stage
+	// between the slowdown threshold and the midpoint
+	// (slowdown+stop)/2, then full Algorithm 1 beyond it.
+	ModeTwoStage
+)
+
+// State is the engine-computed stall condition.
+type State int
+
+const (
+	// StateClear means no stall condition holds.
+	StateClear State = iota
+	// StateDelayed means the slowdown threshold is exceeded
+	// (Algorithm 1 delays apply).
+	StateDelayed
+	// StateAggressive is two-stage mode's second stage (beyond the
+	// midpoint); identical to StateDelayed under ModeAlgorithm1.
+	StateAggressive
+	// StateStopped means writes must block entirely (the engine
+	// handles the blocking; the controller only records it).
+	StateStopped
+)
+
+// Controller computes per-write delays. It is safe for concurrent use.
+type Controller struct {
+	clk  clock.Clock
+	mode Mode
+
+	mu    sync.Mutex
+	state State
+	// rate is the current delayed_write_rate in bytes/second.
+	rate float64
+	// initialRate restores rate when a stall episode ends.
+	initialRate float64
+	// floorRate is stage 1's "maximum acceptable" lower bound on the
+	// delayed write rate (two-stage mode).
+	floorRate float64
+	minRate   float64
+	maxRate   float64
+
+	lastRefill  time.Time
+	creditBytes float64
+
+	// totals for instrumentation
+	totalDelay  time.Duration
+	delayedOps  int64
+	adjustments int64
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// Mode selects the policy (default ModeAlgorithm1).
+	Mode Mode
+	// DelayedWriteRate is the starting delayed_write_rate in
+	// bytes/second (RocksDB default 16 MiB/s).
+	DelayedWriteRate float64
+	// FloorRate bounds stage-1 throttling in two-stage mode
+	// (default: DelayedWriteRate).
+	FloorRate float64
+}
+
+// New returns a controller charging delays to clk.
+func New(clk clock.Clock, cfg Config) *Controller {
+	if cfg.DelayedWriteRate <= 0 {
+		cfg.DelayedWriteRate = 16 << 20
+	}
+	if cfg.FloorRate <= 0 {
+		cfg.FloorRate = cfg.DelayedWriteRate
+	}
+	return &Controller{
+		clk:         clk,
+		mode:        cfg.Mode,
+		state:       StateClear,
+		rate:        cfg.DelayedWriteRate,
+		initialRate: cfg.DelayedWriteRate,
+		floorRate:   cfg.FloorRate,
+		minRate:     1 << 20, // 1 MiB/s lower clamp
+		maxRate:     1 << 30, // 1 GiB/s upper clamp
+		lastRefill:  clk.Now(),
+	}
+}
+
+// SetState installs the stall condition computed by the engine.
+func (c *Controller) SetState(s State) {
+	c.mu.Lock()
+	if c.state != StateClear && s == StateClear {
+		// Episode over: restore the starting rate so the next
+		// episode does not inherit a collapsed rate.
+		c.rate = c.initialRate
+		c.creditBytes = 0
+	}
+	c.state = s
+	c.mu.Unlock()
+}
+
+// CurrentState returns the installed stall condition.
+func (c *Controller) CurrentState() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// AdjustRate applies Algorithm 1's multiplicative update: behind=true
+// (compaction processed fewer bytes than estimated, Prev ≤ Esti)
+// decreases the rate by Dec; otherwise increases by Inc.
+func (c *Controller) AdjustRate(behind bool) {
+	c.mu.Lock()
+	if behind {
+		c.rate *= Dec
+	} else {
+		c.rate *= Inc
+	}
+	if c.rate < c.minRate {
+		c.rate = c.minRate
+	}
+	if c.rate > c.maxRate {
+		c.rate = c.maxRate
+	}
+	c.adjustments++
+	c.mu.Unlock()
+}
+
+// Rate returns the current delayed_write_rate in bytes/second.
+func (c *Controller) Rate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rate
+}
+
+// Delay blocks the calling writer for the injected delay owed by a
+// write of numBytes, per Algorithm 1's DELAYWRITE, and returns the
+// delay applied.
+func (c *Controller) Delay(numBytes int) time.Duration {
+	c.mu.Lock()
+	effRate := c.rate
+	switch {
+	case c.state == StateClear, c.state == StateStopped, c.mode == ModeNone:
+		c.mu.Unlock()
+		return 0
+	case c.mode == ModeTwoStage && c.state == StateDelayed:
+		// Stage 1: slight throttling — rate never drops below the
+		// configured floor.
+		if effRate < c.floorRate {
+			effRate = c.floorRate
+		}
+	}
+
+	now := c.clk.Now()
+	d := c.delayLocked(now, float64(numBytes), effRate)
+	if d > 0 {
+		c.totalDelay += d
+		c.delayedOps++
+	}
+	c.mu.Unlock()
+	if d > 0 {
+		c.clk.Sleep(d)
+	}
+	return d
+}
+
+// delayLocked is DELAYWRITE(num_bytes) from Algorithm 1.
+func (c *Controller) delayLocked(now time.Time, numBytes, rate float64) time.Duration {
+	timeSlice := now.Sub(c.lastRefill)
+	bytesRefilled := timeSlice.Seconds()*rate + c.creditBytes
+	if bytesRefilled >= numBytes {
+		if timeSlice > RefillInterval {
+			// Fully paid for; consume credit and proceed.
+			c.creditBytes = bytesRefilled - numBytes
+			// Cap hoarded credit at one refill interval's worth so
+			// idle periods don't buy unlimited burst.
+			if max := RefillInterval.Seconds() * rate; c.creditBytes > max {
+				c.creditBytes = max
+			}
+			c.lastRefill = now
+			return 0
+		}
+	}
+	singleRefill := RefillInterval.Seconds() * rate
+	c.lastRefill = now
+	if bytesRefilled+singleRefill > numBytes {
+		c.creditBytes = bytesRefilled + singleRefill - numBytes
+		return RefillInterval
+	}
+	c.creditBytes = 0
+	return time.Duration(numBytes / rate * float64(time.Second))
+}
+
+// Stats reports cumulative delay totals.
+func (c *Controller) Stats() (total time.Duration, delayedOps, adjustments int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalDelay, c.delayedOps, c.adjustments
+}

@@ -1,0 +1,352 @@
+// Package vfs provides the filesystem abstraction the engine performs
+// all I/O through.
+//
+// Two implementations exist:
+//
+//   - MemFS: an in-memory filesystem whose operations are charged to a
+//     storage.Device model. This is the measurement substrate: data
+//     lives in RAM but every read, write-back, and sync costs device
+//     time. Reads always hit the device (the simulated setup assumes a
+//     dataset much larger than page cache, as in the paper's 100 GB
+//     data / 8 GB RAM configuration; caching is modeled explicitly by
+//     the engine's block cache). MemFS can also simulate a crash that
+//     loses unsynced data, which the recovery tests rely on.
+//
+//   - OS: a thin wrapper over package os rooted at a directory, so the
+//     store runs as a real database on a real disk.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"xpointdb/internal/storage"
+)
+
+// FS is a flat-namespace filesystem.
+type FS interface {
+	// Create creates (truncating) a file open for appending.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically renames a file, replacing any target.
+	Rename(oldname, newname string) error
+	// List returns the names of all files, sorted.
+	List() ([]string, error)
+	// Size returns the current size of a file.
+	Size(name string) (int64, error)
+}
+
+// File is a handle supporting appending writes and positional reads.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync persists buffered writes to the device.
+	Sync() error
+}
+
+// ErrNotExist is returned when a named file does not exist.
+var ErrNotExist = os.ErrNotExist
+
+// ---------------------------------------------------------------------
+// MemFS
+
+// MemFS is an in-memory FS charged to a device model. The zero value is
+// not usable; create one with NewMem.
+type MemFS struct {
+	dev *storage.Device
+
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+// syncChunk is the granularity at which a Sync's dirty bytes are issued
+// to the device. Chunking lets reads interleave with a large flush
+// instead of queueing behind one monolithic transfer.
+const syncChunk = 1 << 20
+
+// NewMem returns an empty MemFS whose I/O is charged to dev.
+func NewMem(dev *storage.Device) *MemFS {
+	return &MemFS{dev: dev, files: make(map[string]*memFile)}
+}
+
+// Device returns the device this filesystem charges.
+func (fs *MemFS) Device() *storage.Device { return fs.dev }
+
+type memFile struct {
+	fs   *MemFS
+	name string
+
+	mu     sync.RWMutex
+	data   []byte
+	synced int // prefix of data known to be on the device
+}
+
+// Create creates or truncates name.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &memFile{fs: fs, name: name}
+	fs.files[name] = f
+	return &memHandle{f: f}, nil
+}
+
+// Open opens name for reading (writes through the handle are also
+// permitted and append, matching the engine's reopen-for-append use of
+// the WAL during recovery).
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("vfs: open %s: %w", name, ErrNotExist)
+	}
+	return &memHandle{f: f}, nil
+}
+
+// Remove deletes name.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("vfs: remove %s: %w", name, ErrNotExist)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Rename renames oldname to newname.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldname]
+	if !ok {
+		return fmt.Errorf("vfs: rename %s: %w", oldname, ErrNotExist)
+	}
+	delete(fs.files, oldname)
+	f.name = newname
+	fs.files[newname] = f
+	return nil
+}
+
+// List returns all file names, sorted.
+func (fs *MemFS) List() ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size returns the size of name.
+func (fs *MemFS) Size(name string) (int64, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("vfs: size %s: %w", name, ErrNotExist)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.data)), nil
+}
+
+// CrashClone returns a copy of the filesystem as it would look after a
+// crash: every file is truncated to its last synced length. The device
+// of the clone is the same device. Files never synced are empty.
+func (fs *MemFS) CrashClone() *MemFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clone := NewMem(fs.dev)
+	for name, f := range fs.files {
+		f.mu.RLock()
+		data := make([]byte, f.synced)
+		copy(data, f.data[:f.synced])
+		f.mu.RUnlock()
+		clone.files[name] = &memFile{fs: clone, name: name, data: data, synced: len(data)}
+	}
+	return clone
+}
+
+// TotalBytes reports the summed size of all files (for tests and space
+// accounting).
+func (fs *MemFS) TotalBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	for _, f := range fs.files {
+		f.mu.RLock()
+		n += int64(len(f.data))
+		f.mu.RUnlock()
+	}
+	return n
+}
+
+// memHandle is an open handle onto a memFile.
+type memHandle struct {
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	if h.closed {
+		return 0, fmt.Errorf("vfs: write %s: file closed", h.f.name)
+	}
+	h.f.mu.Lock()
+	h.f.data = append(h.f.data, p...)
+	h.f.mu.Unlock()
+	return len(p), nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	if h.closed {
+		return 0, fmt.Errorf("vfs: read %s: file closed", h.f.name)
+	}
+	// Charge the device before touching the data: reads always go to
+	// the device in this model (see package comment).
+	h.f.fs.dev.Read(len(p))
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	if off < 0 || off > int64(len(h.f.data)) {
+		return 0, fmt.Errorf("vfs: read %s at %d beyond size %d: %w", h.f.name, off, len(h.f.data), io.EOF)
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	if h.closed {
+		return fmt.Errorf("vfs: sync %s: file closed", h.f.name)
+	}
+	f := h.f
+	for {
+		f.mu.Lock()
+		dirty := len(f.data) - f.synced
+		if dirty <= 0 {
+			f.mu.Unlock()
+			break
+		}
+		chunk := dirty
+		if chunk > syncChunk {
+			chunk = syncChunk
+		}
+		f.synced += chunk
+		f.mu.Unlock()
+		f.fs.dev.Write(chunk)
+	}
+	f.fs.dev.Sync()
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.closed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// OS filesystem
+
+// OS is an FS rooted at a real directory.
+type OS struct{ dir string }
+
+// NewOS returns an FS over dir, creating it if needed.
+func NewOS(dir string) (*OS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vfs: mkdir %s: %w", dir, err)
+	}
+	return &OS{dir: dir}, nil
+}
+
+func (fs *OS) path(name string) string {
+	return fs.dir + string(os.PathSeparator) + name
+}
+
+// Create creates (truncating) name under the root directory.
+func (fs *OS) Create(name string) (File, error) {
+	f, err := os.OpenFile(fs.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return newOSFile(f), nil
+}
+
+// Open opens name for read (and append, see MemFS.Open).
+func (fs *OS) Open(name string) (File, error) {
+	f, err := os.OpenFile(fs.path(name), os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return newOSFile(f), nil
+}
+
+// Remove deletes name.
+func (fs *OS) Remove(name string) error { return os.Remove(fs.path(name)) }
+
+// Rename renames oldname to newname.
+func (fs *OS) Rename(oldname, newname string) error {
+	return os.Rename(fs.path(oldname), fs.path(newname))
+}
+
+// List returns the names of regular files in the root, sorted.
+func (fs *OS) List() ([]string, error) {
+	ents, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size returns the size of name.
+func (fs *OS) Size(name string) (int64, error) {
+	fi, err := os.Stat(fs.path(name))
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+type osFile struct {
+	f  *os.File
+	mu sync.Mutex // serialize appends
+}
+
+// newOSFile wraps f. os.File already carries a runtime finalizer that
+// closes the descriptor when the handle is garbage collected, which is
+// what lets the engine's table cache drop evicted readers without an
+// explicit Close while concurrent readers drain.
+func newOSFile(f *os.File) *osFile { return &osFile{f: f} }
+
+func (f *osFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.f.Write(p)
+}
+
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *osFile) Sync() error                             { return f.f.Sync() }
+func (f *osFile) Close() error                            { return f.f.Close() }
+
+var (
+	_ FS = (*MemFS)(nil)
+	_ FS = (*OS)(nil)
+)

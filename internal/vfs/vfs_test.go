@@ -1,0 +1,316 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"xpointdb/internal/clock"
+	"xpointdb/internal/sim"
+	"xpointdb/internal/storage"
+)
+
+func newMem() *MemFS {
+	return NewMem(storage.New(clock.Real{}, storage.Null()))
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	fs := newMem()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello world" {
+		t.Fatalf("read %q", buf)
+	}
+	// Partial read at offset.
+	buf5 := make([]byte, 5)
+	if _, err := f.ReadAt(buf5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf5) != "world" {
+		t.Fatalf("offset read %q", buf5)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs := newMem()
+	f, _ := fs.Create("a")
+	f.Write([]byte("abc"))
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if n != 3 || !errors.Is(err, io.EOF) {
+		t.Fatalf("short read = %d, %v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 100); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past EOF = %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := newMem()
+	if _, err := fs.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Open missing = %v", err)
+	}
+	if _, err := fs.Size("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Size missing = %v", err)
+	}
+	if err := fs.Remove("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Remove missing = %v", err)
+	}
+	if err := fs.Rename("nope", "x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Rename missing = %v", err)
+	}
+}
+
+func TestRenameReplaces(t *testing.T) {
+	fs := newMem()
+	f, _ := fs.Create("old")
+	f.Write([]byte("data"))
+	g, _ := fs.Create("target")
+	g.Write([]byte("obsolete"))
+	if err := fs.Rename("old", "target"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("old"); err == nil {
+		t.Fatal("old name still present")
+	}
+	h, err := fs.Open("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	h.ReadAt(buf, 0)
+	if string(buf) != "data" {
+		t.Fatalf("rename target holds %q", buf)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := newMem()
+	for _, n := range []string{"c", "a", "b"} {
+		fs.Create(n)
+	}
+	names, _ := fs.List()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestSharedFileAcrossHandles(t *testing.T) {
+	fs := newMem()
+	w, _ := fs.Create("f")
+	w.Write([]byte("shared"))
+	r, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "shared" {
+		t.Fatalf("second handle sees %q", buf)
+	}
+}
+
+func TestClosedHandleErrors(t *testing.T) {
+	fs := newMem()
+	f, _ := fs.Create("f")
+	f.Close()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write on closed handle succeeded")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Fatal("read on closed handle succeeded")
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync on closed handle succeeded")
+	}
+}
+
+func TestCrashCloneDropsUnsynced(t *testing.T) {
+	fs := newMem()
+	f, _ := fs.Create("f")
+	f.Write([]byte("synced"))
+	f.Sync()
+	f.Write([]byte("-unsynced"))
+
+	g, _ := fs.Create("never-synced")
+	g.Write([]byte("gone"))
+
+	crashed := fs.CrashClone()
+	size, err := crashed.Size("f")
+	if err != nil || size != 6 {
+		t.Fatalf("crashed f size = %d, %v", size, err)
+	}
+	size, err = crashed.Size("never-synced")
+	if err != nil || size != 0 {
+		t.Fatalf("crashed never-synced size = %d, %v", size, err)
+	}
+	// Original is untouched.
+	if size, _ := fs.Size("f"); size != 15 {
+		t.Fatalf("original mutated: %d", size)
+	}
+}
+
+func TestDeviceChargedOnIO(t *testing.T) {
+	dev := storage.New(clock.Real{}, storage.Null())
+	fs := NewMem(dev)
+	f, _ := fs.Create("f")
+	f.Write(bytes.Repeat([]byte("x"), 10000))
+	f.Sync()
+	st := dev.Stats()
+	if st.WriteBytes != 10000 || st.Syncs != 1 {
+		t.Fatalf("device write accounting: %+v", st)
+	}
+	f.ReadAt(make([]byte, 4096), 0)
+	if st := dev.Stats(); st.ReadBytes != 4096 || st.Reads != 1 {
+		t.Fatalf("device read accounting: %+v", st)
+	}
+}
+
+func TestSyncOnlyChargesDirtyBytes(t *testing.T) {
+	dev := storage.New(clock.Real{}, storage.Null())
+	fs := NewMem(dev)
+	f, _ := fs.Create("f")
+	f.Write(make([]byte, 5000))
+	f.Sync()
+	f.Sync() // nothing new
+	if st := dev.Stats(); st.WriteBytes != 5000 {
+		t.Fatalf("re-sync recharged: %+v", st)
+	}
+	f.Write(make([]byte, 100))
+	f.Sync()
+	if st := dev.Stats(); st.WriteBytes != 5100 {
+		t.Fatalf("incremental sync wrong: %+v", st)
+	}
+}
+
+func TestLargeSyncIsChunked(t *testing.T) {
+	dev := storage.New(clock.Real{}, storage.Null())
+	fs := NewMem(dev)
+	f, _ := fs.Create("f")
+	f.Write(make([]byte, 3*syncChunk+10))
+	f.Sync()
+	if st := dev.Stats(); st.Writes != 4 {
+		t.Fatalf("chunking: %d device writes", st.Writes)
+	}
+}
+
+func TestVirtualTimeCharged(t *testing.T) {
+	k := sim.New(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+	dev := storage.New(k, storage.XPoint())
+	fs := NewMem(dev)
+	k.Run(func() {
+		f, _ := fs.Create("f")
+		f.Write(make([]byte, 4096))
+		f.Sync()
+		f.ReadAt(make([]byte, 4096), 0)
+	})
+	if k.Elapsed() <= 0 {
+		t.Fatal("no virtual time charged for I/O")
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	fs := newMem()
+	f, _ := fs.Create("f")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			f.Write([]byte("0123456789"))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 10)
+		for i := 0; i < 1000; i++ {
+			f.ReadAt(buf, 0)
+		}
+	}()
+	wg.Wait()
+	if size, _ := fs.Size("f"); size != 10000 {
+		t.Fatalf("size = %d", size)
+	}
+}
+
+// ---------------------------------------------------------------------
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewOS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("persisted"))
+	f.Sync()
+	f.Close()
+
+	g, err := fs.Open("data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 9)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "persisted" {
+		t.Fatalf("read %q", buf)
+	}
+	g.Close()
+
+	if size, err := fs.Size("data.bin"); err != nil || size != 9 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	names, err := fs.List()
+	if err != nil || len(names) != 1 || names[0] != "data.bin" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := fs.Rename("data.bin", "renamed.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("renamed.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir + "/renamed.bin"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("file not removed")
+	}
+}
+
+func TestOSFSOpenAppends(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := NewOS(dir)
+	f, _ := fs.Create("log")
+	f.Write([]byte("one"))
+	f.Close()
+	g, err := fs.Open("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write([]byte("two"))
+	g.Close()
+	if size, _ := fs.Size("log"); size != 6 {
+		t.Fatalf("append through Open failed: size %d", size)
+	}
+}

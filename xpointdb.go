@@ -1,0 +1,177 @@
+// Package xpointdb is an LSM-tree key-value store with a simulated
+// storage substrate, built as a full reproduction of "From Flash to 3D
+// XPoint: Performance Bottlenecks and Potentials in RocksDB with
+// Storage Evolution" (Jia & Chen, ISPASS 2020).
+//
+// The engine implements the RocksDB mechanisms the paper analyzes —
+// write batch groups and pipelined writes (Algorithm 2), the Algorithm
+// 1 write controller with Level-0 slowdown/stop thresholds, background
+// flush and leveled compaction, Bloom filters, a block cache and a
+// write-ahead log — plus the paper's three case-study optimizations:
+// two-stage throttling, dynamic Level-0 management, and an NVM-resident
+// WAL.
+//
+// Two execution modes share all engine code:
+//
+//   - Real mode: OpenPath opens a database on the local filesystem
+//     with the real clock — a normal, durable key-value store.
+//
+//   - Simulation mode: Open with a MemFS bound to a simulated device
+//     (SATA flash, PCIe flash, 3D XPoint, NVM) and a sim.Kernel clock
+//     reproduces the paper's measurements in fast, deterministic
+//     virtual time. See NewSimulation and the examples/ directory.
+//
+// Quickstart:
+//
+//	db, err := xpointdb.OpenPath("/tmp/mydb")
+//	if err != nil { ... }
+//	defer db.Close()
+//	_ = db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+package xpointdb
+
+import (
+	"time"
+
+	"xpointdb/internal/batch"
+	"xpointdb/internal/clock"
+	"xpointdb/internal/costmodel"
+	"xpointdb/internal/engine"
+	"xpointdb/internal/sim"
+	"xpointdb/internal/sstable"
+	"xpointdb/internal/storage"
+	"xpointdb/internal/throttle"
+	"xpointdb/internal/vfs"
+)
+
+// DB is the key-value store. See engine.DB for the method set: Put,
+// Get, Delete, Apply, NewIter, Metrics, Close, and the inspection
+// helpers used by the experiment harness.
+type DB = engine.DB
+
+// Options configures Open.
+type Options = engine.Options
+
+// Batch is an atomic group of writes, applied with DB.Apply.
+type Batch = batch.Batch
+
+// Iter is a bidirectional snapshot iterator returned by DB.NewIter.
+type Iter = engine.Iter
+
+// Snapshot is a pinned point-in-time view returned by DB.NewSnapshot;
+// release it when done.
+type Snapshot = engine.Snapshot
+
+// Metrics is the engine's live instrumentation.
+type Metrics = engine.Metrics
+
+// Sentinel errors.
+var (
+	ErrNotFound = engine.ErrNotFound
+	ErrClosed   = engine.ErrClosed
+)
+
+// Throttle modes (Options.ThrottleMode).
+const (
+	ThrottleNone       = throttle.ModeNone
+	ThrottleAlgorithm1 = throttle.ModeAlgorithm1
+	ThrottleTwoStage   = throttle.ModeTwoStage
+)
+
+// SST block compression codecs (Options.Compression).
+const (
+	NoCompression    = sstable.NoCompression
+	FlateCompression = sstable.FlateCompression
+)
+
+// FS is the filesystem abstraction databases run on.
+type FS = vfs.FS
+
+// MemFS is the in-memory filesystem charged to a simulated device.
+type MemFS = vfs.MemFS
+
+// Device is a simulated storage device.
+type Device = storage.Device
+
+// DeviceProfile describes a device's performance characteristics.
+type DeviceProfile = storage.Profile
+
+// Clock abstracts time; SimKernel is the virtual-time implementation.
+type (
+	Clock     = clock.Clock
+	SimKernel = sim.Kernel
+)
+
+// CostModel charges virtual CPU time under simulation.
+type CostModel = costmodel.Model
+
+// Device profiles calibrated against the paper's three SSDs plus NVM.
+var (
+	SATAFlash = storage.SATAFlash
+	PCIeFlash = storage.PCIeFlash
+	XPoint    = storage.XPoint
+	NVM       = storage.NVM
+)
+
+// Open opens (creating if necessary) a database with opts.
+func Open(opts Options) (*DB, error) { return engine.Open(opts) }
+
+// DefaultOptions returns RocksDB-like defaults on fs (see
+// engine.DefaultOptions).
+func DefaultOptions(fs FS) Options { return engine.DefaultOptions(fs) }
+
+// OpenPath opens a durable database in dir on the local filesystem
+// with default options and the real clock.
+func OpenPath(dir string) (*DB, error) {
+	fs, err := vfs.NewOS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Open(DefaultOptions(fs))
+}
+
+// Simulation bundles the pieces of a virtual-time experiment: drive
+// all activity from Kernel.Run, and read device counters from Device.
+type Simulation struct {
+	Kernel *sim.Kernel
+	Device *storage.Device
+	FS     *vfs.MemFS
+	// WALDevice and WALFS are set when the WAL lives on its own
+	// device (case study C).
+	WALDevice *storage.Device
+	WALFS     *vfs.MemFS
+	// Options are the DB options, pre-wired to the clock, FS and
+	// calibrated cost model; adjust and pass to Open inside Run.
+	Options Options
+}
+
+// NewSimulation builds a simulated environment on the given device
+// profile. Open the DB and run the workload inside sim.Kernel.Run.
+func NewSimulation(profile DeviceProfile) *Simulation {
+	k := sim.New(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+	dev := storage.New(k, profile)
+	fs := vfs.NewMem(dev)
+	opts := DefaultOptions(fs)
+	opts.Clock = k
+	opts.CostModel = costmodel.Default()
+	return &Simulation{Kernel: k, Device: dev, FS: fs, Options: opts}
+}
+
+// NewSimulationNull returns an environment on a zero-latency in-memory
+// device with the real clock: the store as plain Go code, useful for
+// software-only benchmarks and tests. Kernel is nil; just call Open
+// with s.Options directly.
+func NewSimulationNull() *Simulation {
+	dev := storage.New(clock.Real{}, storage.Null())
+	fs := vfs.NewMem(dev)
+	return &Simulation{Device: dev, FS: fs, Options: DefaultOptions(fs)}
+}
+
+// WithWALDevice places the WAL on a separate simulated device (case
+// study C's NVM logging). Returns s for chaining.
+func (s *Simulation) WithWALDevice(profile DeviceProfile) *Simulation {
+	s.WALDevice = storage.New(s.Kernel, profile)
+	s.WALFS = vfs.NewMem(s.WALDevice)
+	s.Options.WALFS = s.WALFS
+	return s
+}

@@ -1,0 +1,200 @@
+package xpointdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xpointdb/internal/workload"
+)
+
+func TestOpenPathDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatalf("OpenPath: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := db.Put(workload.Key(i), workload.Value(i, 256)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2, err := OpenPath(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	for i := 0; i < 500; i++ {
+		v, err := db2.Get(workload.Key(i))
+		if err != nil {
+			t.Fatalf("Get %d after reopen: %v", i, err)
+		}
+		want := workload.Value(i, 256)
+		if string(v) != string(want) {
+			t.Fatalf("value %d corrupted after reopen", i)
+		}
+	}
+}
+
+func TestBatchAndIterOnRealFS(t *testing.T) {
+	db, err := OpenPath(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var b Batch
+	b.Put([]byte("x"), []byte("1"))
+	b.Put([]byte("y"), []byte("2"))
+	if err := db.Apply(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		got = append(got, fmt.Sprintf("%s=%s", it.Key(), it.Value()))
+	}
+	if len(got) != 2 || got[0] != "x=1" || got[1] != "y=2" {
+		t.Fatalf("scan = %v", got)
+	}
+}
+
+func TestSimulationEndToEnd(t *testing.T) {
+	sim := NewSimulation(XPoint())
+	var res *workload.Result
+	sim.Kernel.Run(func() {
+		db, err := Open(sim.Options)
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		defer db.Close()
+		if err := workload.Preload(db, 5000, 1024); err != nil {
+			t.Errorf("preload: %v", err)
+			return
+		}
+		res = workload.Run(sim.Kernel, db, workload.Config{
+			Workers:   4,
+			ReadRatio: 0.5,
+			Duration:  2 * time.Second,
+			KeySpace:  5000,
+			ValueSize: 1024,
+			Seed:      3,
+		})
+	})
+	if res == nil || res.Ops() == 0 {
+		t.Fatal("simulation did no work")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("workload errors: %d", res.Errors)
+	}
+	if sim.Kernel.Elapsed() < 2*time.Second {
+		t.Fatalf("virtual time %v < workload duration", sim.Kernel.Elapsed())
+	}
+	if sim.Device.Stats().Reads == 0 {
+		t.Fatal("no device reads charged")
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() (int64, time.Duration) {
+		sim := NewSimulation(SATAFlash())
+		var ops int64
+		sim.Kernel.Run(func() {
+			db, err := Open(sim.Options)
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			defer db.Close()
+			// Single-threaded: fully deterministic event order.
+			for i := 0; i < 2000; i++ {
+				if err := db.Put(workload.Key(i), workload.Value(i, 512)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				ops++
+			}
+		})
+		return ops, sim.Kernel.Elapsed()
+	}
+	ops1, t1 := run()
+	ops2, t2 := run()
+	if ops1 != ops2 || t1 != t2 {
+		t.Fatalf("single-threaded simulation not deterministic: (%d, %v) vs (%d, %v)", ops1, t1, ops2, t2)
+	}
+}
+
+func TestWALDeviceSimulation(t *testing.T) {
+	sim := NewSimulation(XPoint()).WithWALDevice(NVM())
+	sim.Kernel.Run(func() {
+		db, err := Open(sim.Options)
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		defer db.Close()
+		for i := 0; i < 200; i++ {
+			if err := db.Put(workload.Key(i), workload.Value(i, 1024)); err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+		}
+	})
+	if sim.WALDevice.Stats().Writes == 0 {
+		t.Fatal("WAL device saw no writes")
+	}
+}
+
+func TestSnapshotPublicAPI(t *testing.T) {
+	db, err := OpenPath(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put([]byte("k"), []byte("before"))
+	var snap *Snapshot = db.NewSnapshot()
+	defer snap.Release()
+	db.Put([]byte("k"), []byte("after"))
+
+	v, err := snap.Get([]byte("k"))
+	if err != nil || string(v) != "before" {
+		t.Fatalf("snapshot = %q, %v", v, err)
+	}
+	it, err := snap.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	it.SeekToLast()
+	if !it.Valid() || string(it.Value()) != "before" {
+		t.Fatalf("snapshot iter = %q", it.Value())
+	}
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("only one key expected")
+	}
+}
+
+func TestNewSimulationNull(t *testing.T) {
+	sim := NewSimulationNull()
+	db, err := Open(sim.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
