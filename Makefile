@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all tier1 tier2 bench-observability
+
+all: tier1
+
+# Tier-1: the acceptance gate every change must keep green.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+# Tier-2: vet plus the full suite under the race detector. Exercises
+# the concurrent metrics/snapshot/event paths (see
+# internal/engine/observe_test.go and internal/events).
+tier2:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+# Re-measure the write-path instrumentation overhead recorded in
+# BENCH_observability.json (fillrandom on the simulated device, bare
+# vs. fully instrumented).
+bench-observability:
+	$(GO) run ./cmd/dbbench -device xpoint -benchmarks fillrandom -threads 4 -duration 30s
+	$(GO) run ./cmd/dbbench -device xpoint -benchmarks fillrandom -threads 4 -duration 30s \
+		-perf -stats -eventlog /tmp/xpointdb-bench.events

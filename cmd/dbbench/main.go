@@ -19,6 +19,7 @@ import (
 	"xpointdb/internal/clock"
 	"xpointdb/internal/costmodel"
 	"xpointdb/internal/engine"
+	"xpointdb/internal/events"
 	"xpointdb/internal/sim"
 	"xpointdb/internal/storage"
 	"xpointdb/internal/throttle"
@@ -43,8 +44,26 @@ func main() {
 		pipelined  = flag.Bool("pipelined", true, "pipelined writes (paper Algorithm 2)")
 		throttleM  = flag.String("throttle", "algo1", "write controller: none | algo1 | twostage")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		stats      = flag.Bool("stats", false, "print the full engine stats report at the end")
+		statsIntv  = flag.Duration("statsinterval", 0, "periodic stats dump interval in engine-clock time (0 disables); dumps go to stderr")
+		eventLog   = flag.String("eventlog", "", "write the structured engine event stream (JSON lines) to this file")
+		perf       = flag.Bool("perf", false, "collect per-operation stage timings (PerfContext histograms)")
 	)
 	flag.Parse()
+
+	var evLog *events.EventLog
+	if *eventLog != "" {
+		f, err := os.Create(*eventLog)
+		if err != nil {
+			log.Fatalf("create -eventlog: %v", err)
+		}
+		evLog = events.NewEventLog(f)
+		defer func() {
+			if err := evLog.Close(); err != nil {
+				log.Printf("eventlog: %v", err)
+			}
+		}()
+	}
 
 	mode := throttle.ModeAlgorithm1
 	switch *throttleM {
@@ -64,10 +83,18 @@ func main() {
 		o.DisableWAL = *disableWAL
 		o.PipelinedWrites = *pipelined
 		o.ThrottleMode = mode
+		o.CollectPerf = *perf
+		if evLog != nil {
+			o.EventListener = evLog
+		}
+		if *statsIntv > 0 {
+			o.StatsDumpInterval = *statsIntv
+			o.StatsWriter = os.Stderr
+		}
 	}
 
 	if *path != "" {
-		runReal(*path, tweak, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed)
+		runReal(*path, tweak, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, *stats)
 		return
 	}
 
@@ -96,6 +123,7 @@ func main() {
 	wall := time.Now()
 	var res *workload.Result
 	var m *engine.Metrics
+	var finalStats string
 	k.Run(func() {
 		db, err := engine.Open(opts)
 		if err != nil {
@@ -103,6 +131,9 @@ func main() {
 		}
 		res = runBenchmark(k, db, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed)
 		m = db.Metrics()
+		if *stats {
+			finalStats = db.StatsReport()
+		}
 		if err := db.Close(); err != nil {
 			log.Fatalf("close: %v", err)
 		}
@@ -110,6 +141,9 @@ func main() {
 
 	fmt.Printf("benchmark      : %s on %s (simulated, virtual time)\n", *benchmarks, prof.Name)
 	printResult(res, m)
+	if finalStats != "" {
+		fmt.Print(finalStats)
+	}
 	fmt.Printf("device         : %v (queue waits sampled at end: %d)\n", dev.Stats(), dev.QueueDepth())
 	if walDev != nil {
 		fmt.Printf("wal device     : %v\n", walDev.Stats())
@@ -117,7 +151,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "[%v virtual simulated in %v wall]\n", res.Duration.Round(time.Millisecond), time.Since(wall).Round(time.Millisecond))
 }
 
-func runReal(path string, tweak func(*engine.Options), bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64) {
+func runReal(path string, tweak func(*engine.Options), bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64, stats bool) {
 	fs, err := vfs.NewOS(path)
 	if err != nil {
 		log.Fatalf("open dir: %v", err)
@@ -130,11 +164,18 @@ func runReal(path string, tweak func(*engine.Options), bench string, threads int
 	}
 	res := runBenchmark(clock.Real{}, db, bench, threads, duration, num, valueSize, writeRatio, seed)
 	m := db.Metrics()
+	var finalStats string
+	if stats {
+		finalStats = db.StatsReport()
+	}
 	if err := db.Close(); err != nil {
 		log.Fatalf("close: %v", err)
 	}
 	fmt.Printf("benchmark      : %s on %s (real clock)\n", bench, path)
 	printResult(res, m)
+	if finalStats != "" {
+		fmt.Print(finalStats)
+	}
 }
 
 func runBenchmark(clk clock.Clock, db *engine.DB, bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64) *workload.Result {

@@ -6,6 +6,8 @@
 //	xpdump -db /path/to/db -file 000003.log   # dump one WAL
 //	xpdump -db /path/to/db -file MANIFEST-000001
 //	xpdump -db /path/to/db -file 000007.sst -keys   # include every key
+//	xpdump -events run.events                 # summarize an event log
+//	xpdump -events run.events -keys           # ...printing every event
 package main
 
 import (
@@ -15,8 +17,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"xpointdb/internal/batch"
+	"xpointdb/internal/events"
 	"xpointdb/internal/keys"
 	"xpointdb/internal/manifest"
 	"xpointdb/internal/sstable"
@@ -27,11 +31,16 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		dbDir    = flag.String("db", "", "database directory (required)")
+		dbDir    = flag.String("db", "", "database directory (required unless -events)")
 		file     = flag.String("file", "", "file to dump; empty = directory overview")
-		showKeys = flag.Bool("keys", false, "list every key (SSTs and WALs)")
+		showKeys = flag.Bool("keys", false, "list every key (SSTs and WALs) / every event (-events)")
+		evFile   = flag.String("events", "", "engine event-log file (JSON lines) to summarize")
 	)
 	flag.Parse()
+	if *evFile != "" {
+		dumpEvents(*evFile, *showKeys)
+		return
+	}
 	if *dbDir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -231,6 +240,98 @@ func dumpManifest(fs vfs.FS, name string) {
 		n++
 	}
 	fmt.Printf("\nfinal version after %d edits:\n%s", n, v.DebugString())
+}
+
+// dumpEvents summarizes a JSON-lines engine event stream: per-kind
+// counts, background I/O totals, the stall-episode transition log and
+// the Algorithm 1 rate trajectory.
+func dumpEvents(path string, verbose bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := events.Decode(f)
+	if err != nil {
+		log.Fatalf("decode: %v (after %d events)", err, len(evs))
+	}
+
+	counts := map[events.Kind]int{}
+	var flushBytes, flushUS int64
+	var compRead, compWritten, compUS int64
+	var walBytes, walUS int64
+	var stalls []events.Event
+	var rateSteps, decSteps int
+	minRate, maxRate := 0.0, 0.0
+	for _, e := range evs {
+		counts[e.Kind]++
+		if verbose {
+			fmt.Println(e)
+		}
+		switch e.Kind {
+		case events.KindFlushEnd:
+			flushBytes += e.Flush.Bytes
+			flushUS += e.Flush.DurationUS
+		case events.KindCompactionEnd:
+			compRead += e.Compaction.BytesRead
+			compWritten += e.Compaction.BytesWritten
+			compUS += e.Compaction.DurationUS
+		case events.KindWALSync:
+			walBytes += e.WALSync.Bytes
+			walUS += e.WALSync.DurationUS
+		case events.KindStallChange:
+			stalls = append(stalls, e)
+		case events.KindRateChange:
+			rateSteps++
+			if e.Rate.Behind {
+				decSteps++
+			}
+			if minRate == 0 || e.Rate.NewRate < minRate {
+				minRate = e.Rate.NewRate
+			}
+			if e.Rate.NewRate > maxRate {
+				maxRate = e.Rate.NewRate
+			}
+		}
+	}
+	if verbose && len(evs) > 0 {
+		fmt.Println()
+	}
+
+	fmt.Printf("%s: %d events", path, len(evs))
+	if len(evs) > 0 {
+		fmt.Printf(" over %v", evs[len(evs)-1].TS.Sub(evs[0].TS).Round(time.Millisecond))
+	}
+	fmt.Println()
+	for _, k := range []events.Kind{
+		events.KindFlushBegin, events.KindFlushEnd,
+		events.KindCompactionBegin, events.KindCompactionEnd,
+		events.KindStallChange, events.KindRateChange, events.KindWALSync,
+	} {
+		if counts[k] > 0 {
+			fmt.Printf("  %-17s %d\n", k, counts[k])
+		}
+	}
+	if counts[events.KindFlushEnd] > 0 {
+		fmt.Printf("flush      : %d B to L0 in %v\n", flushBytes, time.Duration(flushUS)*time.Microsecond)
+	}
+	if counts[events.KindCompactionEnd] > 0 {
+		fmt.Printf("compaction : read %d B, wrote %d B in %v\n",
+			compRead, compWritten, time.Duration(compUS)*time.Microsecond)
+	}
+	if counts[events.KindWALSync] > 0 {
+		fmt.Printf("wal syncs  : %d B in %v\n", walBytes, time.Duration(walUS)*time.Microsecond)
+	}
+	if rateSteps > 0 {
+		fmt.Printf("rate steps : %d (%d dec ×0.8, %d inc ×1.25), range %.1f–%.1f MB/s\n",
+			rateSteps, decSteps, rateSteps-decSteps, minRate/(1<<20), maxRate/(1<<20))
+	}
+	if len(stalls) > 0 {
+		fmt.Printf("stall transitions:\n")
+		for _, e := range stalls {
+			fmt.Printf("  %s\n", e)
+		}
+	}
 }
 
 func dumpCurrent(fs vfs.FS) {

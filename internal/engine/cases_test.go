@@ -74,6 +74,9 @@ func TestThrottleEngagesUnderWritePressure(t *testing.T) {
 // TestTwoStageKeepsHigherFloor compares worst-second throughput of the
 // two throttle modes under the same bursty load (case study A).
 func TestTwoStageKeepsHigherFloor(t *testing.T) {
+	if raceEnabled {
+		t.Skip("minute-scale simulated workload is too slow under the race detector")
+	}
 	run := func(mode throttle.Mode) float64 {
 		env := newSimEnv(storage.XPoint().Scaled(64), func(o *Options) {
 			o.ThrottleMode = mode
@@ -126,6 +129,9 @@ func TestTwoStageKeepsHigherFloor(t *testing.T) {
 // TestAdaptiveL0AdjustsBudget verifies case study B's controller moves
 // the memtable budget with the observed mix.
 func TestAdaptiveL0AdjustsBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("minute-scale simulated workload is too slow under the race detector")
+	}
 	env := newSimEnv(storage.XPoint(), func(o *Options) {
 		o.AdaptiveL0 = true
 		o.AdaptiveL0Aggregate = 24 << 20
@@ -212,6 +218,9 @@ func TestWaitingWritersGaugeRises(t *testing.T) {
 // at equal thread counts, the faster device (quicker reads → higher
 // write arrival pressure) accumulates at least as many waiting writers.
 func TestFasterDeviceQueuesMoreWriters(t *testing.T) {
+	if raceEnabled {
+		t.Skip("minute-scale simulated workload is too slow under the race detector")
+	}
 	run := func(p storage.Profile) float64 {
 		env := newSimEnv(p, nil)
 		var mean float64

@@ -14,6 +14,7 @@ import (
 type compaction struct {
 	level       int // input level
 	outputLevel int
+	score       float64              // urgency at pick time (1.0 = at trigger)
 	inputs      []*manifest.FileMeta // files at level
 	overlaps    []*manifest.FileMeta // files at outputLevel
 	// base is the version the pick was made against; used for
@@ -46,6 +47,7 @@ func (db *DB) pickCompactionLocked() *compaction {
 		return &compaction{
 			level:       0,
 			outputLevel: 1,
+			score:       float64(v.NumFiles(0)) / float64(db.opts.L0CompactionTrigger),
 			inputs:      inputs,
 			overlaps:    v.Overlaps(1, smallest, largest),
 			base:        v,
@@ -75,6 +77,7 @@ func (db *DB) pickCompactionLocked() *compaction {
 	return &compaction{
 		level:       bestLevel,
 		outputLevel: bestLevel + 1,
+		score:       bestScore,
 		inputs:      []*manifest.FileMeta{in},
 		overlaps:    v.Overlaps(bestLevel+1, smallest, largest),
 		base:        v,
@@ -113,7 +116,19 @@ func (db *DB) compactWorker() {
 		db.compacting = true
 		db.mu.Unlock()
 
-		err := db.runCompaction(c)
+		var inputBytes int64
+		for _, f := range c.inputs {
+			inputBytes += f.Size
+		}
+		for _, f := range c.overlaps {
+			inputBytes += f.Size
+		}
+		db.emitCompactionBegin(c, inputBytes)
+		compStart := db.clk.Now()
+
+		stats, err := db.runCompaction(c)
+		db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
+			stats.entries, db.clk.Now().Sub(compStart), err)
 
 		db.mu.Lock()
 		db.compacting = false
@@ -147,9 +162,18 @@ func (db *DB) compactWorker() {
 	db.mu.Unlock()
 }
 
+// compactionStats summarizes one compaction run for events and
+// metrics; partial values are reported when the run fails mid-way.
+type compactionStats struct {
+	read    int64
+	written int64
+	outputs int
+	entries int64
+}
+
 // runCompaction merges c's inputs into new files at c.outputLevel and
 // commits the edit. Called without db.mu.
-func (db *DB) runCompaction(c *compaction) error {
+func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 	all := make([]*manifest.FileMeta, 0, len(c.inputs)+len(c.overlaps))
 	all = append(all, c.inputs...)
 	all = append(all, c.overlaps...)
@@ -163,11 +187,12 @@ func (db *DB) runCompaction(c *compaction) error {
 	for _, f := range all {
 		r, err := db.openCompactionInput(f)
 		if err != nil {
-			return err
+			return stats, err
 		}
 		iters = append(iters, r.NewIter())
 		readBytes += f.Size
 	}
+	stats.read = readBytes
 	merged := iterator.NewMerging(iters...)
 	defer merged.Close()
 
@@ -201,9 +226,9 @@ func (db *DB) runCompaction(c *compaction) error {
 		if builder == nil {
 			return nil
 		}
-		size, err := builder.Finish()
-		if err != nil {
-			return err
+		size, ferr := builder.Finish()
+		if ferr != nil {
+			return ferr
 		}
 		if err := builderFile.Sync(); err != nil {
 			return err
@@ -264,9 +289,9 @@ func (db *DB) runCompaction(c *compaction) error {
 			db.pendingOutputs[curNum] = true
 			db.mu.Unlock()
 			outNums = append(outNums, curNum)
-			f, err := db.fs.Create(manifest.SSTName(curNum))
-			if err != nil {
-				return fmt.Errorf("engine: create compaction output: %w", err)
+			f, cerr := db.fs.Create(manifest.SSTName(curNum))
+			if cerr != nil {
+				return stats, fmt.Errorf("engine: create compaction output: %w", cerr)
 			}
 			builderFile = f
 			builder = sstable.NewBuilder(f, sstable.BuilderOptions{
@@ -276,19 +301,19 @@ func (db *DB) runCompaction(c *compaction) error {
 			})
 		}
 		if err := builder.Add(ikey, merged.Value()); err != nil {
-			return err
+			return stats, err
 		}
 		if builder.EstimatedSize() >= db.opts.TargetFileSize {
 			if err := finishOutput(); err != nil {
-				return err
+				return stats, err
 			}
 		}
 	}
 	if err := merged.Error(); err != nil {
-		return err
+		return stats, err
 	}
 	if err := finishOutput(); err != nil {
-		return err
+		return stats, err
 	}
 	if db.cost != nil {
 		db.cost.ChargeCompactEntries(db.clk, entries%compactChargeBatch)
@@ -304,15 +329,18 @@ func (db *DB) runCompaction(c *compaction) error {
 	for _, f := range outputs {
 		edit.Added = append(edit.Added, manifest.AddedFile{Level: c.outputLevel, Meta: f})
 	}
+	stats.written = writtenByte
+	stats.outputs = len(outputs)
+	stats.entries = int64(entries)
 	if err := db.commitEdit(edit); err != nil {
-		return err
+		return stats, err
 	}
 	db.metrics.CompactionBytesRead.Add(readBytes)
 	db.metrics.CompactionBytesWritten.Add(writtenByte)
 	db.metrics.CompactionEntriesMerged.Add(int64(entries))
 	db.opts.logf("compacted L%d→L%d: %d in (%d B), %d out (%d B)",
 		c.level, c.outputLevel, len(all), readBytes, len(outputs), writtenByte)
-	return nil
+	return stats, nil
 }
 
 // isBaseLevel reports whether no level deeper than the compaction's

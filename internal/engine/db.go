@@ -22,6 +22,7 @@ import (
 	"xpointdb/internal/cache"
 	"xpointdb/internal/clock"
 	"xpointdb/internal/costmodel"
+	"xpointdb/internal/events"
 	"xpointdb/internal/manifest"
 	"xpointdb/internal/memtable"
 	"xpointdb/internal/throttle"
@@ -46,6 +47,7 @@ type flushedMem struct {
 	mem    *memtable.Memtable
 	walNum uint64
 	maxSeq uint64
+	reason string // rotation trigger, reported in flush events
 }
 
 // DB is the key-value store.
@@ -59,6 +61,7 @@ type DB struct {
 	controller *throttle.Controller
 	blocks     *cache.Cache
 	tables     *tableCache
+	ev         events.Listener // nil when event logging is off
 
 	mu     clock.Mutex
 	bgCond clock.Cond // broadcast on any background state change
@@ -117,6 +120,7 @@ func Open(opts Options) (*DB, error) {
 		walFS:          opts.WALFS,
 		cost:           opts.CostModel,
 		metrics:        newMetrics(clk),
+		ev:             opts.EventListener,
 		memBudget:      opts.MemtableSize,
 		pendingOutputs: make(map[uint64]bool),
 		snapshots:      make(map[*Snapshot]uint64),
@@ -128,11 +132,16 @@ func Open(opts Options) (*DB, error) {
 		db.blocks = cache.New(opts.BlockCacheSize)
 	}
 	db.tables = newTableCache(clk, db.fs, db.blocks)
-	db.controller = throttle.New(clk, throttle.Config{
+	tcfg := throttle.Config{
 		Mode:             opts.ThrottleMode,
 		DelayedWriteRate: opts.DelayedWriteRate,
 		FloorRate:        opts.TwoStageFloorRate,
-	})
+	}
+	if db.ev != nil {
+		// Surface every Algorithm 1 Dec/Inc step in the event stream.
+		tcfg.RateChanged = db.emitRateChange
+	}
+	db.controller = throttle.New(clk, tcfg)
 	db.mu = clk.NewMutex()
 	db.bgCond = clk.NewCond(db.mu)
 
@@ -150,6 +159,12 @@ func Open(opts Options) (*DB, error) {
 		db.liveWorkers++
 		db.mu.Unlock()
 		clk.Go("adaptive-l0", db.adaptiveWorker)
+	}
+	if opts.StatsDumpInterval > 0 && (opts.StatsWriter != nil || opts.Logger != nil) {
+		db.mu.Lock()
+		db.liveWorkers++
+		db.mu.Unlock()
+		clk.Go("stats-worker", db.statsWorker)
 	}
 
 	db.mu.Lock()
@@ -354,8 +369,10 @@ func (db *DB) updateStallStateLocked() {
 	}
 	if s != db.stallState {
 		db.opts.logf("stall state %v -> %v (L0=%d)", db.stallState, s, l0)
+		old := db.stallState
 		db.stallState = s
 		db.controller.SetState(s)
+		db.emitStallChangeLocked(old, s, l0)
 		if s != throttle.StateStopped {
 			// Unblock writers waiting on a stop condition.
 			db.bgCond.Broadcast()

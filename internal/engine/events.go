@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"time"
+
+	"xpointdb/internal/events"
+	"xpointdb/internal/throttle"
+)
+
+// Event emission. Every helper is a no-op when the DB was opened
+// without an EventListener; the listener must not block on the engine
+// clock (emitters sometimes hold db.mu).
+
+func (db *DB) emitFlushBegin(reason string, walNum uint64, bytes int64, immutables int) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{
+		TS:   db.clk.Now(),
+		Kind: events.KindFlushBegin,
+		Flush: &events.Flush{
+			Reason:     reason,
+			WALNum:     walNum,
+			Bytes:      bytes,
+			Immutables: immutables,
+		},
+	})
+}
+
+func (db *DB) emitFlushEnd(reason string, walNum, outputFile uint64, bytes int64, l0Files int, d time.Duration, err error) {
+	if db.ev == nil {
+		return
+	}
+	f := &events.Flush{
+		Reason:     reason,
+		WALNum:     walNum,
+		OutputFile: outputFile,
+		Bytes:      bytes,
+		L0Files:    l0Files,
+		DurationUS: d.Microseconds(),
+	}
+	if err != nil {
+		f.Error = err.Error()
+	}
+	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: events.KindFlushEnd, Flush: f})
+}
+
+func (db *DB) emitCompactionBegin(c *compaction, inputBytes int64) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{
+		TS:   db.clk.Now(),
+		Kind: events.KindCompactionBegin,
+		Compaction: &events.Compaction{
+			Level:        c.level,
+			OutputLevel:  c.outputLevel,
+			Score:        c.score,
+			InputFiles:   len(c.inputs),
+			OverlapFiles: len(c.overlaps),
+			BytesRead:    inputBytes,
+		},
+	})
+}
+
+func (db *DB) emitCompactionEnd(c *compaction, read, written int64, outputs int, entries int64, d time.Duration, err error) {
+	if db.ev == nil {
+		return
+	}
+	ce := &events.Compaction{
+		Level:        c.level,
+		OutputLevel:  c.outputLevel,
+		Score:        c.score,
+		InputFiles:   len(c.inputs),
+		OverlapFiles: len(c.overlaps),
+		OutputFiles:  outputs,
+		BytesRead:    read,
+		BytesWritten: written,
+		Entries:      entries,
+		DurationUS:   d.Microseconds(),
+	}
+	if err != nil {
+		ce.Error = err.Error()
+	}
+	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: events.KindCompactionEnd, Compaction: ce})
+}
+
+// emitStallChangeLocked records a stall-condition transition with its
+// cause. Called with db.mu held (the transition and its inputs must be
+// captured atomically); the listener only appends to its own buffer.
+func (db *DB) emitStallChangeLocked(from, to throttle.State, l0Files int) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{
+		TS:   db.clk.Now(),
+		Kind: events.KindStallChange,
+		Stall: &events.Stall{
+			From:       from.String(),
+			To:         to.String(),
+			L0Files:    l0Files,
+			Immutables: len(db.imms),
+			Rate:       db.controller.Rate(),
+		},
+	})
+}
+
+// emitRateChange observes one Algorithm 1 Dec/Inc step (wired as the
+// controller's RateChanged callback).
+func (db *DB) emitRateChange(oldRate, newRate float64, behind bool) {
+	if db.ev == nil {
+		return
+	}
+	factor := throttle.Inc
+	if behind {
+		factor = throttle.Dec
+	}
+	db.ev.Emit(events.Event{
+		TS:   db.clk.Now(),
+		Kind: events.KindRateChange,
+		Rate: &events.Rate{OldRate: oldRate, NewRate: newRate, Factor: factor, Behind: behind},
+	})
+}
+
+func (db *DB) emitWALSync(walNum uint64, bytes int64, d time.Duration, err error) {
+	if db.ev == nil {
+		return
+	}
+	ws := &events.WALSync{WALNum: walNum, Bytes: bytes, DurationUS: d.Microseconds()}
+	if err != nil {
+		ws.Error = err.Error()
+	}
+	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: events.KindWALSync, WALSync: ws})
+}

@@ -27,7 +27,12 @@ func (db *DB) flushWorker() {
 		num := db.vs.AllocFileNum()
 		db.pendingOutputs[num] = true
 		db.flushing = true
+		queued := len(db.imms)
 		db.mu.Unlock()
+
+		memBytes := fm.mem.ApproximateSize()
+		db.emitFlushBegin(fm.reason, fm.walNum, memBytes, queued)
+		flushStart := db.clk.Now()
 
 		meta, err := db.buildTable(num, newMemIter(fm.mem))
 		if err == nil {
@@ -51,13 +56,16 @@ func (db *DB) flushWorker() {
 		db.mu.Lock()
 		db.flushing = false
 		delete(db.pendingOutputs, num)
+		l0Files := db.vs.Current().NumFiles(0)
 		if err != nil {
 			db.opts.logf("flush failed: %v", err)
+			db.mu.Unlock()
+			db.emitFlushEnd(fm.reason, fm.walNum, num, 0, l0Files,
+				db.clk.Now().Sub(flushStart), err)
 			// Leave the immutable queued and retry after a timed
 			// backoff. (An untimed cond wait here can livelock with
 			// a write leader stalled on the full immutable queue:
 			// each would wait for the other's signal.)
-			db.mu.Unlock()
 			db.clk.Sleep(flushRetryBackoff)
 		} else {
 			db.imms = db.imms[1:]
@@ -65,9 +73,11 @@ func (db *DB) flushWorker() {
 			db.metrics.FlushBytes.Add(meta.Size)
 			// Algorithm 1 rate feedback: a completed flush grew L0;
 			// if the tree is in a stall zone, compaction is behind.
-			behind := db.vs.Current().NumFiles(0) >= db.opts.L0SlowdownTrigger
+			behind := l0Files >= db.opts.L0SlowdownTrigger
 			db.bgCond.Broadcast()
 			db.mu.Unlock()
+			db.emitFlushEnd(fm.reason, fm.walNum, num, meta.Size, l0Files,
+				db.clk.Now().Sub(flushStart), nil)
 			if db.stallActive() {
 				db.controller.AdjustRate(behind)
 			}

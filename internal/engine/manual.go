@@ -57,7 +57,16 @@ func (db *DB) compactLevelRange(level int, start, end []byte) error {
 	db.compacting = true
 	db.mu.Unlock()
 
-	err := db.runCompaction(c)
+	var inputBytes int64
+	for _, f := range append(append([]*manifest.FileMeta(nil), c.inputs...), c.overlaps...) {
+		inputBytes += f.Size
+	}
+	db.emitCompactionBegin(c, inputBytes)
+	compStart := db.clk.Now()
+
+	stats, err := db.runCompaction(c)
+	db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
+		stats.entries, db.clk.Now().Sub(compStart), err)
 
 	db.mu.Lock()
 	db.compacting = false

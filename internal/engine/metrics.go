@@ -51,6 +51,34 @@ type Metrics struct {
 	GetMisses       atomic.Int64
 	L0TablesProbed  atomic.Int64
 	BloomSkips      atomic.Int64
+
+	// WAL accounting (mirrors wal.Writer across rotations).
+	WALSyncs     atomic.Int64
+	WALSyncBytes atomic.Int64
+
+	// Per-stage latency histograms, populated from PerfContext when
+	// Options.CollectPerf is on (or a caller passes a context in).
+	// Only operations that exercised a stage are recorded in that
+	// stage's histogram, so Sum()s attribute end-to-end latency and
+	// Mean()s describe the stage when it occurs. PerfOps counts the
+	// operations aggregated.
+	PerfWriteOps       atomic.Int64
+	StageThrottleDelay histogram.Histogram
+	StageQueueWait     histogram.Histogram
+	StageWriteStall    histogram.Histogram
+	StageWALAppend     histogram.Histogram
+	StageWALSync       histogram.Histogram
+	StageMemInsert     histogram.Histogram
+
+	PerfReadOps    atomic.Int64
+	StageMemProbe  histogram.Histogram
+	StageImmProbe  histogram.Histogram
+	StageL0Probe   histogram.Histogram
+	StageDeepProbe histogram.Histogram
+	StageBlockRead histogram.Histogram
+
+	PerfBlockCacheHits   atomic.Int64
+	PerfBlockCacheMisses atomic.Int64
 }
 
 func newMetrics(clk clock.Clock) *Metrics {
@@ -64,8 +92,63 @@ func newMetrics(clk clock.Clock) *Metrics {
 // Start returns when metric collection began.
 func (m *Metrics) Start() time.Time { return m.start }
 
+// recordWritePerf folds one write operation's stage breakdown into the
+// stage histograms. Zero stages are skipped (see the field comments).
+func (m *Metrics) recordWritePerf(pc *PerfContext) {
+	m.PerfWriteOps.Add(1)
+	if pc.ThrottleDelay > 0 {
+		m.StageThrottleDelay.Record(pc.ThrottleDelay)
+	}
+	if pc.WriteQueueWait > 0 {
+		m.StageQueueWait.Record(pc.WriteQueueWait)
+	}
+	if pc.WriteStall > 0 {
+		m.StageWriteStall.Record(pc.WriteStall)
+	}
+	if pc.WALAppend > 0 {
+		m.StageWALAppend.Record(pc.WALAppend)
+	}
+	if pc.WALSync > 0 {
+		m.StageWALSync.Record(pc.WALSync)
+	}
+	if pc.MemtableInsert > 0 {
+		m.StageMemInsert.Record(pc.MemtableInsert)
+	}
+}
+
+// recordReadPerf folds one read operation's stage breakdown into the
+// stage histograms.
+func (m *Metrics) recordReadPerf(pc *PerfContext) {
+	m.PerfReadOps.Add(1)
+	if pc.MemtableProbe > 0 {
+		m.StageMemProbe.Record(pc.MemtableProbe)
+	}
+	if pc.ImmutableProbe > 0 {
+		m.StageImmProbe.Record(pc.ImmutableProbe)
+	}
+	if pc.L0ProbeTime > 0 {
+		m.StageL0Probe.Record(pc.L0ProbeTime)
+	}
+	if pc.DeepProbeTime > 0 {
+		m.StageDeepProbe.Record(pc.DeepProbeTime)
+	}
+	if pc.BlockReadTime > 0 {
+		m.StageBlockRead.Record(pc.BlockReadTime)
+	}
+	if pc.BlockCacheHits > 0 {
+		m.PerfBlockCacheHits.Add(int64(pc.BlockCacheHits))
+	}
+	if pc.BlockCacheMisses > 0 {
+		m.PerfBlockCacheMisses.Add(int64(pc.BlockCacheMisses))
+	}
+}
+
 // Gauge is a time-weighted level gauge: it integrates the level over
 // time exactly at each change, so Mean needs no sampler.
+//
+// The zero value is usable, like Histogram's: without init (no clock)
+// it degrades to a plain level/max gauge — Add, Current and Max work,
+// and Mean reports 0 because there is no time base to weight by.
 type Gauge struct {
 	clk clock.Clock
 
@@ -85,14 +168,19 @@ func (g *Gauge) init(clk clock.Clock) {
 
 // Add moves the level by delta.
 func (g *Gauge) Add(delta int64) {
-	now := g.clk.Now()
+	var now time.Time
+	if g.clk != nil {
+		now = g.clk.Now()
+	}
 	g.mu.Lock()
-	g.integral += time.Duration(g.cur) * now.Sub(g.last)
+	if g.clk != nil {
+		g.integral += time.Duration(g.cur) * now.Sub(g.last)
+		g.last = now
+	}
 	g.cur += delta
 	if g.cur > g.max {
 		g.max = g.cur
 	}
-	g.last = now
 	g.mu.Unlock()
 }
 
@@ -103,8 +191,12 @@ func (g *Gauge) Current() int64 {
 	return g.cur
 }
 
-// Mean returns the time-weighted mean level since the gauge started.
+// Mean returns the time-weighted mean level since the gauge started,
+// or 0 for a zero-value gauge (no clock to integrate against).
 func (g *Gauge) Mean() float64 {
+	if g.clk == nil {
+		return 0
+	}
 	now := g.clk.Now()
 	g.mu.Lock()
 	defer g.mu.Unlock()

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"io"
 	"time"
 
 	"xpointdb/internal/clock"
 	"xpointdb/internal/costmodel"
+	"xpointdb/internal/events"
 	"xpointdb/internal/sstable"
 	"xpointdb/internal/throttle"
 	"xpointdb/internal/vfs"
@@ -108,6 +110,27 @@ type Options struct {
 	// AdaptiveWriteIntensive is the write fraction above which the
 	// workload is tagged write-intensive (paper: 25%).
 	AdaptiveWriteIntensive float64
+
+	// EventListener, if non-nil, receives the structured event stream
+	// (flush, compaction, stall-condition and rate changes, WAL
+	// syncs). Use events.NewEventLog for a JSON-lines file sink.
+	// Listeners are called from engine paths — sometimes with engine
+	// locks held — and must be concurrency-safe and non-blocking.
+	EventListener events.Listener
+
+	// CollectPerf enables per-operation stage timing on every Get and
+	// Apply, aggregated into the Metrics Stage* histograms, even when
+	// the caller does not pass a PerfContext. Off by default: stage
+	// timing adds a few clock reads per operation.
+	CollectPerf bool
+
+	// StatsDumpInterval, when positive, starts a background worker
+	// that writes DB.StatsReport to StatsWriter (or the Logger) every
+	// interval of engine-clock time — RocksDB's periodic stats dump.
+	StatsDumpInterval time.Duration
+	// StatsWriter receives periodic stats dumps. When nil, dumps go
+	// to Logger; when both are nil, no dumps are produced.
+	StatsWriter io.Writer
 
 	// Logger, if non-nil, receives debug events.
 	Logger func(format string, args ...interface{})

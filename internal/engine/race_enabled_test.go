@@ -1,0 +1,9 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in; the
+// minute-scale simulated workloads skip themselves under it (they
+// would blow the package test timeout) while every targeted
+// concurrency test still runs.
+const raceEnabled = true

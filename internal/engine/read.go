@@ -3,10 +3,12 @@ package engine
 import (
 	"bytes"
 	"errors"
+	"time"
 
 	"xpointdb/internal/keys"
 	"xpointdb/internal/manifest"
 	"xpointdb/internal/memtable"
+	"xpointdb/internal/sstable"
 	"xpointdb/internal/vfs"
 )
 
@@ -16,21 +18,41 @@ import (
 // to oldest, then one file per deeper level — with Bloom filters and
 // the block cache short-circuiting device reads.
 func (db *DB) Get(key []byte) ([]byte, error) {
+	return db.GetWithPerf(key, nil)
+}
+
+// GetWithPerf is Get with a per-operation stage breakdown accumulated
+// into pc. A nil pc collects nothing unless Options.CollectPerf is
+// set, in which case the engine times the lookup internally; either
+// way the per-op deltas feed the Metrics Stage* histograms.
+func (db *DB) GetWithPerf(key []byte, pc *PerfContext) ([]byte, error) {
+	var before PerfContext
+	if pc == nil {
+		if db.opts.CollectPerf {
+			pc = &PerfContext{}
+		}
+	} else {
+		before = *pc
+	}
 	start := db.clk.Now()
-	v, err := db.get(key)
+	v, err := db.get(key, pc)
 	now := db.clk.Now()
 	db.metrics.GetLatency.Record(now.Sub(start))
 	db.metrics.Ops.Record(now, 1)
 	db.windowReads.Add(1)
+	if pc != nil {
+		d := pc.diff(&before)
+		db.metrics.recordReadPerf(&d)
+	}
 	return v, err
 }
 
-func (db *DB) get(key []byte) ([]byte, error) {
-	return db.getAt(key, db.visibleSeq.Load())
+func (db *DB) get(key []byte, pc *PerfContext) ([]byte, error) {
+	return db.getAt(key, db.visibleSeq.Load(), pc)
 }
 
 // getAt reads key as of sequence snapshot snap.
-func (db *DB) getAt(key []byte, snap uint64) ([]byte, error) {
+func (db *DB) getAt(key []byte, snap uint64, pc *PerfContext) ([]byte, error) {
 	// The version snapshot is taken without pinning files, so a
 	// racing compaction can delete an SST under us (surfacing as a
 	// not-exist error); retrying against a fresh version resolves
@@ -39,7 +61,7 @@ func (db *DB) getAt(key []byte, snap uint64) ([]byte, error) {
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
 		var val []byte
-		val, err = db.getAttempt(key, snap)
+		val, err = db.getAttempt(key, snap, pc)
 		if err == nil || err == ErrNotFound || err == ErrClosed || !errors.Is(err, vfs.ErrNotExist) {
 			return val, err
 		}
@@ -47,7 +69,7 @@ func (db *DB) getAt(key []byte, snap uint64) ([]byte, error) {
 	return nil, err
 }
 
-func (db *DB) getAttempt(key []byte, snap uint64) ([]byte, error) {
+func (db *DB) getAttempt(key []byte, snap uint64, pc *PerfContext) ([]byte, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -59,17 +81,35 @@ func (db *DB) getAttempt(key []byte, snap uint64) ([]byte, error) {
 	db.mu.Unlock()
 
 	// 1. Mutable memtable.
+	var t0 time.Time
+	if pc != nil {
+		t0 = db.clk.Now()
+	}
 	if val, ok, err := db.getFromMem(mem, key, snap, &db.metrics.GetHitMemtable); ok {
+		if pc != nil {
+			pc.MemtableProbe += db.clk.Now().Sub(t0)
+		}
 		return val, err
+	}
+	if pc != nil {
+		now := db.clk.Now()
+		pc.MemtableProbe += now.Sub(t0)
+		t0 = now
 	}
 	// 2. Immutable memtables, newest first.
 	for i := len(imms) - 1; i >= 0; i-- {
 		if val, ok, err := db.getFromMem(imms[i].mem, key, snap, &db.metrics.GetHitImmutable); ok {
+			if pc != nil {
+				pc.ImmutableProbe += db.clk.Now().Sub(t0)
+			}
 			return val, err
 		}
 	}
+	if pc != nil && len(imms) > 0 {
+		pc.ImmutableProbe += db.clk.Now().Sub(t0)
+	}
 	// 3. The tree.
-	return db.getFromVersion(ver, key, snap)
+	return db.getFromVersion(ver, key, snap, pc)
 }
 
 // getFromMem probes one memtable. ok=true means the search terminated
@@ -90,7 +130,7 @@ func (db *DB) getFromMem(mem *memtable.Memtable, key []byte, snap uint64, hitCou
 }
 
 // getFromVersion searches the on-disk tree.
-func (db *DB) getFromVersion(v *manifest.Version, key []byte, snap uint64) ([]byte, error) {
+func (db *DB) getFromVersion(v *manifest.Version, key []byte, snap uint64, pc *PerfContext) ([]byte, error) {
 	search := keys.SearchKey(key, snap)
 
 	// Level 0: files may overlap; probe every covering file newest
@@ -100,7 +140,15 @@ func (db *DB) getFromVersion(v *manifest.Version, key []byte, snap uint64) ([]by
 		if !f.ContainsUserKey(key) {
 			continue
 		}
-		val, ok, err := db.probeTable(f, key, search, &db.metrics.GetHitL0)
+		var t0 time.Time
+		if pc != nil {
+			pc.L0Probes++
+			t0 = db.clk.Now()
+		}
+		val, ok, err := db.probeTable(f, key, search, &db.metrics.GetHitL0, pc)
+		if pc != nil {
+			pc.L0ProbeTime += db.clk.Now().Sub(t0)
+		}
 		db.metrics.L0TablesProbed.Add(1)
 		if err != nil {
 			return nil, err
@@ -122,7 +170,15 @@ func (db *DB) getFromVersion(v *manifest.Version, key []byte, snap uint64) ([]by
 		if f == nil {
 			continue
 		}
-		val, ok, err := db.probeTable(f, key, search, &db.metrics.GetHitDeep)
+		var t0 time.Time
+		if pc != nil {
+			pc.DeepProbes++
+			t0 = db.clk.Now()
+		}
+		val, ok, err := db.probeTable(f, key, search, &db.metrics.GetHitDeep, pc)
+		if pc != nil {
+			pc.DeepProbeTime += db.clk.Now().Sub(t0)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +195,7 @@ func (db *DB) getFromVersion(v *manifest.Version, key []byte, snap uint64) ([]by
 
 // probeTable searches one SST. ok=true terminates the search; a nil
 // value with ok=true is a tombstone.
-func (db *DB) probeTable(f *manifest.FileMeta, key, search []byte, hitCounter interface{ Add(int64) int64 }) (val []byte, ok bool, err error) {
+func (db *DB) probeTable(f *manifest.FileMeta, key, search []byte, hitCounter interface{ Add(int64) int64 }, pc *PerfContext) (val []byte, ok bool, err error) {
 	r, err := db.tables.get(f)
 	if err != nil {
 		return nil, false, err
@@ -147,16 +203,36 @@ func (db *DB) probeTable(f *manifest.FileMeta, key, search []byte, hitCounter in
 	if db.cost != nil {
 		db.cost.ChargeBloom(db.clk, 1)
 	}
+	if pc != nil {
+		pc.BloomChecks++
+	}
 	if !r.MayContain(key) {
 		db.metrics.BloomSkips.Add(1)
+		if pc != nil {
+			pc.BloomSkips++
+		}
 		return nil, false, nil
 	}
 	if db.cost != nil {
 		db.cost.ChargeTableProbe(db.clk)
 	}
-	ikey, value, cmps, found, err := r.Get(search)
+	var st sstable.ProbeStats
+	var t0 time.Time
+	if pc != nil {
+		t0 = db.clk.Now()
+	}
+	ikey, value, found, err := r.GetStats(search, &st)
+	if pc != nil {
+		// Block reads only happen on cache misses, so the probe time
+		// on a miss approximates the device read portion.
+		if st.CacheMisses > 0 {
+			pc.BlockReadTime += db.clk.Now().Sub(t0)
+		}
+		pc.BlockCacheHits += st.CacheHits
+		pc.BlockCacheMisses += st.CacheMisses
+	}
 	if db.cost != nil {
-		db.cost.ChargeCompares(db.clk, cmps)
+		db.cost.ChargeCompares(db.clk, st.Cmps)
 	}
 	if err != nil || !found {
 		return nil, false, err

@@ -57,8 +57,11 @@ func replayLogInto(f vfs.File, mem *memtable.Memtable, baseSeq uint64) (uint64, 
 // non-nil, is merged into the committed edit.
 func (db *DB) flushMemToL0(mem *memtable.Memtable, editExtra *manifest.Edit) error {
 	num := db.vs.AllocFileNum()
+	db.emitFlushBegin("recovery", 0, mem.ApproximateSize(), 0)
+	start := db.clk.Now()
 	meta, err := db.buildTable(num, newMemIter(mem))
 	if err != nil {
+		db.emitFlushEnd("recovery", 0, num, 0, 0, db.clk.Now().Sub(start), err)
 		return err
 	}
 	edit := &manifest.Edit{Added: []manifest.AddedFile{{Level: 0, Meta: meta}}}
@@ -69,5 +72,8 @@ func (db *DB) flushMemToL0(mem *memtable.Memtable, editExtra *manifest.Edit) err
 	}
 	seq := db.vs.LastSeq
 	edit.LastSeq = &seq
-	return db.vs.LogAndApply(edit)
+	err = db.vs.LogAndApply(edit)
+	db.emitFlushEnd("recovery", 0, num, meta.Size,
+		db.vs.Current().NumFiles(0), db.clk.Now().Sub(start), err)
+	return err
 }

@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xpointdb/internal/histogram"
+	"xpointdb/internal/manifest"
+)
+
+// MetricsSnapshot is a consistent plain-value copy of the engine's
+// counters, safe to hold, compare and serialize while the engine keeps
+// running. Histogram-backed fields are summarized (count, mean, p99).
+type MetricsSnapshot struct {
+	Uptime time.Duration
+
+	Gets      int64
+	GetMean   time.Duration
+	GetP99    time.Duration
+	Writes    int64
+	WriteMean time.Duration
+	WriteP99  time.Duration
+	WALMean   time.Duration
+
+	WaitingWritersMean float64
+	WaitingWritersMax  int64
+
+	StallDelayTotal time.Duration
+	StallStopTotal  time.Duration
+	StallStops      int64
+
+	Flushes                 int64
+	FlushBytes              int64
+	Compactions             int64
+	CompactionBytesRead     int64
+	CompactionBytesWritten  int64
+	CompactionEntriesMerged int64
+
+	GetHitMemtable  int64
+	GetHitImmutable int64
+	GetHitL0        int64
+	GetHitDeep      int64
+	GetMisses       int64
+	L0TablesProbed  int64
+	BloomSkips      int64
+
+	WALSyncs     int64
+	WALSyncBytes int64
+
+	PerfWriteOps int64
+	PerfReadOps  int64
+}
+
+// Snapshot captures the current counter values. It is safe to call
+// concurrently with live operations.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Uptime: m.clk.Now().Sub(m.start),
+
+		Gets:      m.GetLatency.Count(),
+		GetMean:   m.GetLatency.Mean(),
+		GetP99:    m.GetLatency.Percentile(99),
+		Writes:    m.WriteLatency.Count(),
+		WriteMean: m.WriteLatency.Mean(),
+		WriteP99:  m.WriteLatency.Percentile(99),
+		WALMean:   m.WALLatency.Mean(),
+
+		WaitingWritersMean: m.WaitingWriters.Mean(),
+		WaitingWritersMax:  m.WaitingWriters.Max(),
+
+		StallDelayTotal: time.Duration(m.StallDelayTotal.Load()),
+		StallStopTotal:  time.Duration(m.StallStopTotal.Load()),
+		StallStops:      m.StallStops.Load(),
+
+		Flushes:                 m.Flushes.Load(),
+		FlushBytes:              m.FlushBytes.Load(),
+		Compactions:             m.Compactions.Load(),
+		CompactionBytesRead:     m.CompactionBytesRead.Load(),
+		CompactionBytesWritten:  m.CompactionBytesWritten.Load(),
+		CompactionEntriesMerged: m.CompactionEntriesMerged.Load(),
+
+		GetHitMemtable:  m.GetHitMemtable.Load(),
+		GetHitImmutable: m.GetHitImmutable.Load(),
+		GetHitL0:        m.GetHitL0.Load(),
+		GetHitDeep:      m.GetHitDeep.Load(),
+		GetMisses:       m.GetMisses.Load(),
+		L0TablesProbed:  m.L0TablesProbed.Load(),
+		BloomSkips:      m.BloomSkips.Load(),
+
+		WALSyncs:     m.WALSyncs.Load(),
+		WALSyncBytes: m.WALSyncBytes.Load(),
+
+		PerfWriteOps: m.PerfWriteOps.Load(),
+		PerfReadOps:  m.PerfReadOps.Load(),
+	}
+}
+
+// Report renders a human-readable statistics dump, RocksDB
+// DB-stats-style. String returns the same text.
+func (m *Metrics) Report() string {
+	s := m.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "** Engine stats (uptime %v) **\n", s.Uptime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "gets           : %d (mean %v, p99 %v)\n", s.Gets, s.GetMean, s.GetP99)
+	fmt.Fprintf(&b, "writes         : %d (mean %v, p99 %v)\n", s.Writes, s.WriteMean, s.WriteP99)
+	fmt.Fprintf(&b, "wal            : group latency mean %v, %d syncs (%d B)\n",
+		s.WALMean, s.WALSyncs, s.WALSyncBytes)
+	fmt.Fprintf(&b, "stalls         : delay %v, stop %v in %d episodes\n",
+		s.StallDelayTotal.Round(time.Microsecond), s.StallStopTotal.Round(time.Microsecond), s.StallStops)
+	fmt.Fprintf(&b, "waiting writers: mean %.2f, max %d\n", s.WaitingWritersMean, s.WaitingWritersMax)
+	fmt.Fprintf(&b, "flush          : %d (%d B)\n", s.Flushes, s.FlushBytes)
+	fmt.Fprintf(&b, "compaction     : %d (read %d B, wrote %d B, merged %d entries)\n",
+		s.Compactions, s.CompactionBytesRead, s.CompactionBytesWritten, s.CompactionEntriesMerged)
+	fmt.Fprintf(&b, "read path      : mem %d, imm %d, L0 %d, deep %d, miss %d; L0 probes %d, bloom skips %d\n",
+		s.GetHitMemtable, s.GetHitImmutable, s.GetHitL0, s.GetHitDeep, s.GetMisses,
+		s.L0TablesProbed, s.BloomSkips)
+
+	if s.PerfWriteOps > 0 {
+		e2e := m.WriteLatency.Sum()
+		fmt.Fprintf(&b, "write stages   : %s (%d ops, %.1f%% of end-to-end)\n",
+			stageLine(e2e, []stage{
+				{"throttle", &m.StageThrottleDelay},
+				{"queue", &m.StageQueueWait},
+				{"stall", &m.StageWriteStall},
+				{"wal_append", &m.StageWALAppend},
+				{"wal_sync", &m.StageWALSync},
+				{"mem_insert", &m.StageMemInsert},
+			}), s.PerfWriteOps, 100*coverage(e2e, m.writeStageSum()))
+	}
+	if s.PerfReadOps > 0 {
+		e2e := m.GetLatency.Sum()
+		fmt.Fprintf(&b, "read stages    : %s (%d ops, %.1f%% of end-to-end)\n",
+			stageLine(e2e, []stage{
+				{"mem", &m.StageMemProbe},
+				{"imm", &m.StageImmProbe},
+				{"l0", &m.StageL0Probe},
+				{"deep", &m.StageDeepProbe},
+			}), s.PerfReadOps, 100*coverage(e2e, m.readStageSum()))
+		fmt.Fprintf(&b, "block reads    : %v on cache misses (%d hits, %d misses via perf)\n",
+			m.StageBlockRead.Sum(), m.PerfBlockCacheHits.Load(), m.PerfBlockCacheMisses.Load())
+	}
+	return b.String()
+}
+
+// String returns Report.
+func (m *Metrics) String() string { return m.Report() }
+
+// writeStageSum is the total time attributed to write stages.
+func (m *Metrics) writeStageSum() time.Duration {
+	return m.StageThrottleDelay.Sum() + m.StageQueueWait.Sum() + m.StageWriteStall.Sum() +
+		m.StageWALAppend.Sum() + m.StageWALSync.Sum() + m.StageMemInsert.Sum()
+}
+
+// readStageSum is the total time attributed to read stages.
+func (m *Metrics) readStageSum() time.Duration {
+	return m.StageMemProbe.Sum() + m.StageImmProbe.Sum() +
+		m.StageL0Probe.Sum() + m.StageDeepProbe.Sum()
+}
+
+type stage struct {
+	name string
+	h    *histogram.Histogram
+}
+
+// stageLine formats each stage as its share of the end-to-end total.
+func stageLine(e2e time.Duration, stages []stage) string {
+	var parts []string
+	for _, st := range stages {
+		sum := st.h.Sum()
+		if sum == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", st.name, 100*coverage(e2e, sum)))
+	}
+	if len(parts) == 0 {
+		return "(all stages zero)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func coverage(total, part time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}
+
+// StatsReport extends Metrics.Report with engine state the metrics
+// cannot see: the LSM shape, block cache occupancy and the write
+// controller's current state and rate.
+func (db *DB) StatsReport() string {
+	var b strings.Builder
+	b.WriteString(db.metrics.Report())
+
+	db.mu.Lock()
+	v := db.vs.Current()
+	var lsm []string
+	for l := 0; l < manifest.NumLevels; l++ {
+		if n := v.NumFiles(l); n > 0 {
+			lsm = append(lsm, fmt.Sprintf("L%d %d files (%d B)", l, n, v.LevelBytes(l)))
+		}
+	}
+	imms := len(db.imms)
+	stall := db.stallState
+	db.mu.Unlock()
+
+	if len(lsm) == 0 {
+		lsm = []string{"empty"}
+	}
+	fmt.Fprintf(&b, "lsm            : %s; immutables %d\n", strings.Join(lsm, ", "), imms)
+	total, delayed, adjustments := db.controller.Stats()
+	fmt.Fprintf(&b, "controller     : state %v, rate %.1f MB/s (%d delayed ops %v total, %d rate steps)\n",
+		stall, db.controller.Rate()/(1<<20), delayed, total.Round(time.Microsecond), adjustments)
+	if db.blocks != nil {
+		fmt.Fprintf(&b, "block cache    : %s\n", db.blocks)
+	}
+	return b.String()
+}
+
+// statsQuantum bounds how long a pending Close can wait on the stats
+// worker under the real clock (under simulation the kernel jumps to
+// the next tick immediately, so the quantum costs nothing).
+const statsQuantum = 200 * time.Millisecond
+
+// statsWorker periodically writes StatsReport to Options.StatsWriter
+// (or the debug logger) every StatsDumpInterval of engine-clock time.
+func (db *DB) statsWorker() {
+	interval := db.opts.StatsDumpInterval
+	var sinceDump time.Duration
+	for {
+		db.mu.Lock()
+		if db.closed {
+			db.liveWorkers--
+			db.bgCond.Broadcast()
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Unlock()
+
+		step := interval - sinceDump
+		if step > statsQuantum {
+			step = statsQuantum
+		}
+		db.clk.Sleep(step)
+		sinceDump += step
+		if sinceDump < interval {
+			continue
+		}
+		sinceDump = 0
+
+		db.mu.Lock()
+		closed := db.closed
+		db.mu.Unlock()
+		if closed {
+			continue // exit via the check at loop top
+		}
+		report := db.StatsReport()
+		if w := db.opts.StatsWriter; w != nil {
+			fmt.Fprintf(w, "--- stats @ %v ---\n%s", db.clk.Now().Format("15:04:05.000"), report)
+		} else {
+			db.opts.logf("stats dump:\n%s", report)
+		}
+	}
+}

@@ -15,6 +15,9 @@ import (
 // TestSimulatedMixedWorkload reproduces the figure-1 deadlock: 8
 // concurrent workers, 1:1 mix, XPoint profile, virtual time.
 func TestSimulatedMixedWorkload(t *testing.T) {
+	if raceEnabled {
+		t.Skip("minute-scale simulated workload is too slow under the race detector")
+	}
 	k := sim.New(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
 	dev := storage.New(k, storage.XPoint())
 	fs := vfs.NewMem(dev)

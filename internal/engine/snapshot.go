@@ -36,7 +36,7 @@ func (s *Snapshot) Release() {
 func (s *Snapshot) Get(key []byte) ([]byte, error) {
 	db := s.db
 	start := db.clk.Now()
-	v, err := db.getAt(key, s.seq)
+	v, err := db.getAt(key, s.seq, nil)
 	now := db.clk.Now()
 	db.metrics.GetLatency.Record(now.Sub(start))
 	db.metrics.Ops.Record(now, 1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync/atomic"
+	"time"
 
 	"xpointdb/internal/batch"
 	"xpointdb/internal/clock"
@@ -48,6 +49,7 @@ type writer struct {
 	err   error
 	cv    clock.Cond
 	group *commitGroup
+	perf  *PerfContext // nil unless stage timing is on for this op
 }
 
 // commitGroup is a leader-collected set of writers committed as one
@@ -78,8 +80,26 @@ func (db *DB) Delete(key []byte) error {
 // Apply commits a batch atomically. syncWAL requests a WAL sync before
 // acknowledging.
 func (db *DB) Apply(b *batch.Batch, syncWAL bool) error {
+	return db.ApplyWithPerf(b, syncWAL, nil)
+}
+
+// ApplyWithPerf is Apply with a per-operation stage breakdown
+// accumulated into pc. A nil pc collects nothing unless
+// Options.CollectPerf is set, in which case the engine times the
+// operation internally; either way the per-op deltas feed the Metrics
+// Stage* histograms. Group followers attribute the leader's WAL work
+// done on their behalf to WriteQueueWait.
+func (db *DB) ApplyWithPerf(b *batch.Batch, syncWAL bool, pc *PerfContext) error {
 	if b.Empty() {
 		return nil
+	}
+	var before PerfContext
+	if pc == nil {
+		if db.opts.CollectPerf {
+			pc = &PerfContext{}
+		}
+	} else {
+		before = *pc
 	}
 	start := db.clk.Now()
 
@@ -87,9 +107,12 @@ func (db *DB) Apply(b *batch.Batch, syncWAL bool) error {
 	// before joining the queue.
 	if d := db.controller.Delay(b.Size()); d > 0 {
 		db.metrics.StallDelayTotal.Add(int64(d))
+		if pc != nil {
+			pc.ThrottleDelay += d
+		}
 	}
 
-	w := &writer{batch: b, sync: syncWAL}
+	w := &writer{batch: b, sync: syncWAL, perf: pc}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -98,8 +121,15 @@ func (db *DB) Apply(b *batch.Batch, syncWAL bool) error {
 	w.cv = db.clk.NewCond(db.mu)
 	db.writers = append(db.writers, w)
 	db.metrics.WaitingWriters.Add(1)
+	var qStart time.Time
+	if pc != nil {
+		qStart = db.clk.Now()
+	}
 	for w.state == stateQueued && db.writers[0] != w {
 		w.cv.Wait()
+	}
+	if pc != nil {
+		pc.WriteQueueWait += db.clk.Now().Sub(qStart)
 	}
 	db.metrics.WaitingWriters.Add(-1)
 
@@ -108,7 +138,14 @@ func (db *DB) Apply(b *batch.Batch, syncWAL bool) error {
 		db.mu.Unlock()
 	case stateMemWriter:
 		db.mu.Unlock()
+		var t0 time.Time
+		if pc != nil {
+			t0 = db.clk.Now()
+		}
 		db.applyBatchToMem(w.group.mem, w.batch)
+		if pc != nil {
+			pc.MemtableInsert += db.clk.Now().Sub(t0)
+		}
 		db.memberDone(w.group)
 	default:
 		// Head of queue: become leader. leaderCommit releases db.mu.
@@ -122,6 +159,10 @@ func (db *DB) Apply(b *batch.Batch, syncWAL bool) error {
 	db.metrics.Ops.Record(now, int64(b.Count()))
 	db.metrics.WriteOps.Record(now, int64(b.Count()))
 	db.windowWrites.Add(int64(b.Count()))
+	if pc != nil {
+		d := pc.diff(&before)
+		db.metrics.recordWritePerf(&d)
+	}
 	return w.err
 }
 
@@ -145,7 +186,7 @@ func (db *DB) Flush() error {
 		// Head of queue: perform the rotation.
 		w.state = stateLeader
 		if !db.mem.Empty() {
-			w.err = db.rotateMemtableLocked()
+			w.err = db.rotateMemtableLocked("manual")
 		}
 		db.popGroupLocked([]*writer{w})
 	}
@@ -160,12 +201,20 @@ func (db *DB) Flush() error {
 // leaderCommit runs the commit protocol for the group led by w. Called
 // with db.mu held; returns with it released.
 func (db *DB) leaderCommit(leader *writer) {
+	pc := leader.perf
+	var roomStart time.Time
+	if pc != nil {
+		roomStart = db.clk.Now()
+	}
 	if err := db.makeRoomForWrite(); err != nil {
 		// Fail the entire queue head; no seqs were assigned.
 		leader.err = err
 		db.popGroupLocked([]*writer{leader})
 		db.mu.Unlock()
 		return
+	}
+	if pc != nil {
+		pc.WriteStall += db.clk.Now().Sub(roomStart)
 	}
 
 	// Collect the batch group: a contiguous queue prefix. Flush
@@ -198,6 +247,7 @@ func (db *DB) leaderCommit(leader *writer) {
 	db.lastSeq = seq
 	group.lastSeq = seq
 	db.pendingGroups = append(db.pendingGroups, group)
+	walNum := db.walNum
 	db.mu.Unlock()
 
 	// WAL append for the whole group — serialized because the group
@@ -213,10 +263,25 @@ func (db *DB) leaderCommit(leader *writer) {
 		if db.cost != nil {
 			db.cost.ChargeWALAppend(db.clk, len(rep))
 		}
-		if walErr == nil && syncNeeded {
-			walErr = db.walWriter.Sync()
+		appendDone := db.clk.Now()
+		if pc != nil {
+			pc.WALAppend += appendDone.Sub(walStart)
 		}
-		db.metrics.WALLatency.Record(db.clk.Now().Sub(walStart))
+		walEnd := appendDone
+		if walErr == nil && syncNeeded {
+			pending := db.walWriter.Pending()
+			walErr = db.walWriter.Sync()
+			walEnd = db.clk.Now()
+			if pc != nil {
+				pc.WALSync += walEnd.Sub(appendDone)
+			}
+			if walErr == nil {
+				db.metrics.WALSyncs.Add(1)
+				db.metrics.WALSyncBytes.Add(pending)
+			}
+			db.emitWALSync(walNum, pending, walEnd.Sub(appendDone), walErr)
+		}
+		db.metrics.WALLatency.Record(walEnd.Sub(walStart))
 	}
 
 	db.mu.Lock()
@@ -248,15 +313,29 @@ func (db *DB) leaderCommit(leader *writer) {
 			}
 		}
 		db.mu.Unlock()
+		var t0 time.Time
+		if pc != nil {
+			t0 = db.clk.Now()
+		}
 		db.applyBatchToMem(group.mem, leader.batch)
+		if pc != nil {
+			pc.MemtableInsert += db.clk.Now().Sub(t0)
+		}
 		db.memberDone(group)
 		return
 	}
 
 	// Non-pipelined: the leader applies every batch itself.
 	db.mu.Unlock()
+	var t0 time.Time
+	if pc != nil {
+		t0 = db.clk.Now()
+	}
 	for _, m := range group.members {
 		db.applyBatchToMem(group.mem, m.batch)
+	}
+	if pc != nil {
+		pc.MemtableInsert += db.clk.Now().Sub(t0)
 	}
 	db.mu.Lock()
 	for _, m := range group.members {
@@ -360,7 +439,7 @@ func (db *DB) makeRoomForWrite() error {
 			db.waitStalledLocked()
 
 		default:
-			if err := db.rotateMemtableLocked(); err != nil {
+			if err := db.rotateMemtableLocked("memtable-full"); err != nil {
 				return err
 			}
 		}
@@ -368,11 +447,12 @@ func (db *DB) makeRoomForWrite() error {
 }
 
 // rotateMemtableLocked switches the mutable memtable to immutable and
-// opens a fresh WAL. Called with db.mu held by the queue head; the
-// lock is dropped around I/O and held on return. On failure the old
-// WAL stays intact and open, so writes can proceed and the rotation
-// can be retried.
-func (db *DB) rotateMemtableLocked() error {
+// opens a fresh WAL. reason names the trigger ("memtable-full",
+// "manual") and travels with the immutable to the flush events. Called
+// with db.mu held by the queue head; the lock is dropped around I/O
+// and held on return. On failure the old WAL stays intact and open, so
+// writes can proceed and the rotation can be retried.
+func (db *DB) rotateMemtableLocked(reason string) error {
 	// Wait out in-flight memtable writers and a full immutable queue.
 	for len(db.pendingGroups) > 0 {
 		db.bgCond.Wait()
@@ -390,6 +470,7 @@ func (db *DB) rotateMemtableLocked() error {
 	}
 	oldWALFile := db.walFile
 	oldWAL := db.walWriter
+	oldWALNum := db.walNum
 	db.mu.Unlock()
 
 	var newFile vfs.File
@@ -400,7 +481,15 @@ func (db *DB) rotateMemtableLocked() error {
 		newFile, err = db.walFS.Create(manifest.WALName(newNum))
 	}
 	if err == nil && oldWAL != nil {
-		_ = oldWAL.Sync() // make the rotated memtable's log durable
+		// Make the rotated memtable's log durable.
+		pending := oldWAL.Pending()
+		t0 := db.clk.Now()
+		serr := oldWAL.Sync()
+		if serr == nil {
+			db.metrics.WALSyncs.Add(1)
+			db.metrics.WALSyncBytes.Add(pending)
+		}
+		db.emitWALSync(oldWALNum, pending, db.clk.Now().Sub(t0), serr)
 		_ = oldWALFile.Close()
 	}
 
@@ -408,13 +497,12 @@ func (db *DB) rotateMemtableLocked() error {
 	if err != nil {
 		return fmt.Errorf("engine: rotate wal: %w", err)
 	}
-	oldWALNum := db.walNum
 	if !db.opts.DisableWAL {
 		db.walFile = newFile
 		db.walWriter = wal.NewWriter(newFile)
 		db.walNum = newNum
 	}
-	db.imms = append(db.imms, flushedMem{mem: db.mem, walNum: oldWALNum, maxSeq: db.lastSeq})
+	db.imms = append(db.imms, flushedMem{mem: db.mem, walNum: oldWALNum, maxSeq: db.lastSeq, reason: reason})
 	db.mem = memtable.New(db.memBudget)
 	db.bgCond.Broadcast() // wake the flush worker
 	return nil

@@ -1,0 +1,322 @@
+// Package events is the engine's structured event log — the RocksDB
+// LOG equivalent, machine-readable. Every significant background and
+// control-plane episode (flush, compaction, stall-condition change,
+// Algorithm 1 rate step, WAL sync) is emitted as one Event to a
+// Listener the DB was opened with.
+//
+// The paper's whole method is this kind of visibility: its findings
+// (throttling stalls, Level-0 probe overhead, WAL sync cost) all came
+// from instrumenting RocksDB internals. The event stream makes the
+// same diagnosis possible here: a benchmark that regresses leaves a
+// JSON-lines trail saying which stall state engaged, at what Level-0
+// count, and how the delayed_write_rate stepped down and back up.
+//
+// Events carry timestamps from the engine clock, so a simulated-time
+// run produces a deterministic stream that can be archived next to its
+// BENCH_*.json results and diffed across commits.
+package events
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind discriminates event payloads.
+type Kind string
+
+// The event kinds the engine emits.
+const (
+	KindFlushBegin      Kind = "flush_begin"
+	KindFlushEnd        Kind = "flush_end"
+	KindCompactionBegin Kind = "compaction_begin"
+	KindCompactionEnd   Kind = "compaction_end"
+	KindStallChange     Kind = "stall_change"
+	KindRateChange      Kind = "rate_change"
+	KindWALSync         Kind = "wal_sync"
+)
+
+// Event is the envelope written as one JSON line. Exactly one payload
+// pointer is non-nil, matching Kind.
+type Event struct {
+	// Seq is a strictly increasing sequence number assigned by the
+	// sink (not the emitter), so the written stream is totally ordered
+	// even under concurrent emission.
+	Seq uint64 `json:"seq"`
+	// TS is the engine-clock timestamp (virtual time under the
+	// simulation kernel, so streams are deterministic).
+	TS   time.Time `json:"ts"`
+	Kind Kind      `json:"event"`
+
+	Flush      *Flush      `json:"flush,omitempty"`
+	Compaction *Compaction `json:"compaction,omitempty"`
+	Stall      *Stall      `json:"stall,omitempty"`
+	Rate       *Rate       `json:"rate,omitempty"`
+	WALSync    *WALSync    `json:"wal_sync,omitempty"`
+}
+
+// Flush describes a memtable flush (begin and end share the struct;
+// end fills in the output and duration fields).
+type Flush struct {
+	// Reason is what triggered the rotation that queued this
+	// memtable: "memtable-full", "manual", or "recovery".
+	Reason string `json:"reason,omitempty"`
+	// WALNum is the log file covering the flushed memtable.
+	WALNum uint64 `json:"wal,omitempty"`
+	// Immutables is the queue depth when the flush started.
+	Immutables int `json:"immutables,omitempty"`
+	// Bytes is the memtable size (begin) / output SST size (end).
+	Bytes int64 `json:"bytes,omitempty"`
+	// OutputFile is the Level-0 SST file number produced.
+	OutputFile uint64 `json:"output,omitempty"`
+	// L0Files is the Level-0 file count after the flush committed.
+	L0Files int `json:"l0_files,omitempty"`
+	// DurationUS is the flush wall (or virtual) time in microseconds.
+	DurationUS int64  `json:"duration_us,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Compaction describes one compaction (begin/end pair).
+type Compaction struct {
+	Level       int `json:"level"`
+	OutputLevel int `json:"output_level"`
+	// Score is the pick-time urgency: L0 file count over the trigger
+	// for Level 0, level bytes over target for deeper levels.
+	Score        float64 `json:"score,omitempty"`
+	InputFiles   int     `json:"input_files,omitempty"`
+	OverlapFiles int     `json:"overlap_files,omitempty"`
+	OutputFiles  int     `json:"output_files,omitempty"`
+	BytesRead    int64   `json:"bytes_read,omitempty"`
+	BytesWritten int64   `json:"bytes_written,omitempty"`
+	Entries      int64   `json:"entries,omitempty"`
+	DurationUS   int64   `json:"duration_us,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// Stall records a stall-condition transition with its cause, the
+// inputs to the engine's updateStallState decision.
+type Stall struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// L0Files and Immutables are the pressure sources at the moment
+	// of the transition.
+	L0Files    int `json:"l0_files"`
+	Immutables int `json:"immutables"`
+	// Rate is the controller's delayed_write_rate (bytes/s) at the
+	// transition.
+	Rate float64 `json:"delayed_write_rate"`
+}
+
+// Rate records one Algorithm 1 multiplicative rate step.
+type Rate struct {
+	OldRate float64 `json:"old_rate"`
+	NewRate float64 `json:"new_rate"`
+	// Factor is the requested multiplier: Dec (0.8) when compaction
+	// is behind, Inc (1.25) otherwise. NewRate may differ from
+	// OldRate×Factor at the min/max clamps.
+	Factor float64 `json:"factor"`
+	Behind bool    `json:"behind"`
+}
+
+// WALSync records one write-ahead-log fsync.
+type WALSync struct {
+	WALNum uint64 `json:"wal"`
+	// Bytes is the data made durable by this sync (appended since the
+	// previous sync).
+	Bytes      int64  `json:"bytes"`
+	DurationUS int64  `json:"duration_us"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Listener receives events. Implementations must be safe for
+// concurrent use and must not block on the engine clock (they are
+// called from engine paths, sometimes with engine locks held).
+type Listener interface {
+	Emit(e Event)
+}
+
+// Func adapts a function to Listener.
+type Func func(Event)
+
+// Emit calls f.
+func (f Func) Emit(e Event) { f(e) }
+
+// Nop is a Listener that discards everything — the disabled-cost
+// baseline for overhead benchmarks.
+type Nop struct{}
+
+// Emit discards e.
+func (Nop) Emit(Event) {}
+
+// ---------------------------------------------------------------------
+
+// EventLog is the JSON-lines sink: one event per line, in Seq order.
+// Writes are buffered; call Flush (or Close) to drain. Safe for
+// concurrent use.
+type EventLog struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	c    io.Closer // non-nil if the underlying writer should be closed
+	enc  *json.Encoder
+	seq  uint64
+	errs []string
+	err  error
+}
+
+// NewEventLog returns an event log writing JSON lines to w. If w is
+// also an io.Closer, Close closes it.
+func NewEventLog(w io.Writer) *EventLog {
+	bw := bufio.NewWriter(w)
+	l := &EventLog{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// Emit assigns the next sequence number and writes e as one line.
+func (l *EventLog) Emit(e Event) {
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	if err := l.enc.Encode(&e); err != nil && l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+}
+
+// Flush drains buffered lines to the underlying writer.
+func (l *EventLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.bw.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// Err returns the first write or encode error, if any.
+func (l *EventLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes and closes the underlying writer (when closable).
+func (l *EventLog) Close() error {
+	err := l.Flush()
+	if l.c != nil {
+		if cerr := l.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------
+
+// Buffer is an in-memory Listener for tests and examples.
+type Buffer struct {
+	mu  sync.Mutex
+	seq uint64
+	evs []Event
+}
+
+// Emit appends e with the next sequence number.
+func (b *Buffer) Emit(e Event) {
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	b.evs = append(b.evs, e)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far, in Seq order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.evs...)
+}
+
+// Len returns the number of events emitted so far.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.evs)
+}
+
+// ---------------------------------------------------------------------
+
+// Tee fans every event out to each listener in order.
+func Tee(ls ...Listener) Listener {
+	return Func(func(e Event) {
+		for _, l := range ls {
+			l.Emit(e)
+		}
+	})
+}
+
+// Decode reads a JSON-lines event stream back (the inverse of
+// EventLog). It stops at EOF and fails on the first malformed line.
+func Decode(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var evs []Event
+	for i := 0; ; i++ {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return evs, nil
+			}
+			return evs, fmt.Errorf("events: line %d: %w", i+1, err)
+		}
+		evs = append(evs, e)
+	}
+}
+
+// String renders e as a short human-readable line (for examples and
+// xpdump, not a stable format).
+func (e Event) String() string {
+	ts := e.TS.Format("15:04:05.000000")
+	switch e.Kind {
+	case KindFlushBegin:
+		return fmt.Sprintf("%s flush begin: wal=%d %dB queued=%d (%s)",
+			ts, e.Flush.WALNum, e.Flush.Bytes, e.Flush.Immutables, e.Flush.Reason)
+	case KindFlushEnd:
+		if e.Flush.Error != "" {
+			return fmt.Sprintf("%s flush FAILED: %s", ts, e.Flush.Error)
+		}
+		return fmt.Sprintf("%s flush end: sst=%d %dB in %dµs, L0=%d",
+			ts, e.Flush.OutputFile, e.Flush.Bytes, e.Flush.DurationUS, e.Flush.L0Files)
+	case KindCompactionBegin:
+		return fmt.Sprintf("%s compaction begin: L%d→L%d score=%.2f inputs=%d+%d (%dB)",
+			ts, e.Compaction.Level, e.Compaction.OutputLevel, e.Compaction.Score,
+			e.Compaction.InputFiles, e.Compaction.OverlapFiles, e.Compaction.BytesRead)
+	case KindCompactionEnd:
+		if e.Compaction.Error != "" {
+			return fmt.Sprintf("%s compaction L%d→L%d FAILED: %s",
+				ts, e.Compaction.Level, e.Compaction.OutputLevel, e.Compaction.Error)
+		}
+		return fmt.Sprintf("%s compaction end: L%d→L%d read %dB wrote %dB (%d files) in %dµs",
+			ts, e.Compaction.Level, e.Compaction.OutputLevel, e.Compaction.BytesRead,
+			e.Compaction.BytesWritten, e.Compaction.OutputFiles, e.Compaction.DurationUS)
+	case KindStallChange:
+		return fmt.Sprintf("%s stall %s → %s (L0=%d imm=%d rate=%.1fMB/s)",
+			ts, e.Stall.From, e.Stall.To, e.Stall.L0Files, e.Stall.Immutables,
+			e.Stall.Rate/(1<<20))
+	case KindRateChange:
+		dir := "inc"
+		if e.Rate.Behind {
+			dir = "dec"
+		}
+		return fmt.Sprintf("%s rate %s ×%.2f: %.1f → %.1f MB/s",
+			ts, dir, e.Rate.Factor, e.Rate.OldRate/(1<<20), e.Rate.NewRate/(1<<20))
+	case KindWALSync:
+		return fmt.Sprintf("%s wal sync: log=%d %dB in %dµs",
+			ts, e.WALSync.WALNum, e.WALSync.Bytes, e.WALSync.DurationUS)
+	}
+	return fmt.Sprintf("%s %s", ts, e.Kind)
+}

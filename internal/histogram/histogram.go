@@ -73,6 +73,14 @@ func (h *Histogram) Count() int64 {
 	return h.count
 }
 
+// Sum returns the total of all samples, for stage-attribution checks
+// (e.g. comparing per-stage perf totals against end-to-end latency).
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.sum)
+}
+
 // Mean returns the mean sample.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()

@@ -356,20 +356,22 @@ func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
 	return nil, fmt.Errorf("sstable: block at %d has unknown codec %d", h.offset, trailer[0])
 }
 
-// getBlock returns block contents via the cache.
-func (r *Reader) getBlock(h blockHandle) ([]byte, error) {
+// getBlock returns block contents via the cache; hit reports whether
+// the block came from the cache (always false with no cache attached).
+func (r *Reader) getBlock(h blockHandle) (contents []byte, hit bool, err error) {
 	if r.cache == nil {
-		return r.readBlock(h)
+		contents, err = r.readBlock(h)
+		return contents, false, err
 	}
 	if v, ok := r.cache.Get(r.fileNum, h.offset); ok {
-		return v, nil
+		return v, true, nil
 	}
-	contents, err := r.readBlock(h)
+	contents, err = r.readBlock(h)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	r.cache.Insert(r.fileNum, h.offset, contents)
-	return contents, nil
+	return contents, false, nil
 }
 
 // MayContain consults the Bloom filter for userKey. Without a filter it
@@ -381,37 +383,59 @@ func (r *Reader) MayContain(userKey []byte) bool {
 	return r.filter.MayContain(userKey)
 }
 
+// ProbeStats reports the per-probe costs of one Get: key comparisons
+// (CPU cost accounting) and block-cache traffic (per-operation
+// PerfContext attribution).
+type ProbeStats struct {
+	Cmps        int
+	CacheHits   int
+	CacheMisses int
+}
+
 // Get returns the first entry with internal key ≥ ikey, if it exists in
 // this table. found=false means the table holds no such entry. cmps
 // reports the key comparisons performed (CPU cost accounting).
 func (r *Reader) Get(ikey []byte) (key, value []byte, cmps int, found bool, err error) {
+	var st ProbeStats
+	key, value, found, err = r.GetStats(ikey, &st)
+	return key, value, st.Cmps, found, err
+}
+
+// GetStats is Get with full per-probe cost attribution written to st
+// (which must be non-nil; fields are incremented, not reset).
+func (r *Reader) GetStats(ikey []byte, st *ProbeStats) (key, value []byte, found bool, err error) {
 	idx, err := newBlockIter(r.index)
 	if err != nil {
-		return nil, nil, 0, false, err
+		return nil, nil, false, err
 	}
 	idx.SeekGE(ikey)
-	cmps = idx.Cmps()
+	st.Cmps += idx.Cmps()
 	if !idx.Valid() {
-		return nil, nil, cmps, false, idx.Error()
+		return nil, nil, false, idx.Error()
 	}
 	h, _, err := decodeHandle(idx.Value())
 	if err != nil {
-		return nil, nil, cmps, false, err
+		return nil, nil, false, err
 	}
-	contents, err := r.getBlock(h)
+	contents, hit, err := r.getBlock(h)
 	if err != nil {
-		return nil, nil, cmps, false, err
+		return nil, nil, false, err
+	}
+	if hit {
+		st.CacheHits++
+	} else {
+		st.CacheMisses++
 	}
 	data, err := newBlockIter(contents)
 	if err != nil {
-		return nil, nil, cmps, false, err
+		return nil, nil, false, err
 	}
 	data.SeekGE(ikey)
-	cmps += data.Cmps()
+	st.Cmps += data.Cmps()
 	if !data.Valid() {
-		return nil, nil, cmps, false, data.Error()
+		return nil, nil, false, data.Error()
 	}
-	return data.Key(), data.Value(), cmps, true, nil
+	return data.Key(), data.Value(), true, nil
 }
 
 // Size returns the file size.
@@ -457,7 +481,7 @@ func (t *tableIter) loadData() {
 		t.err = err
 		return
 	}
-	contents, err := t.r.getBlock(h)
+	contents, _, err := t.r.getBlock(h)
 	if err != nil {
 		t.err = err
 		return

@@ -16,6 +16,7 @@
 package throttle
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -62,6 +63,21 @@ const (
 	StateStopped
 )
 
+// String names the state for logs and the event stream.
+func (s State) String() string {
+	switch s {
+	case StateClear:
+		return "clear"
+	case StateDelayed:
+		return "delayed"
+	case StateAggressive:
+		return "aggressive"
+	case StateStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
 // Controller computes per-write delays. It is safe for concurrent use.
 type Controller struct {
 	clk  clock.Clock
@@ -86,6 +102,9 @@ type Controller struct {
 	totalDelay  time.Duration
 	delayedOps  int64
 	adjustments int64
+
+	// rateChanged observes AdjustRate steps (set once at New).
+	rateChanged func(oldRate, newRate float64, behind bool)
 }
 
 // Config parameterizes the controller.
@@ -98,6 +117,10 @@ type Config struct {
 	// FloorRate bounds stage-1 throttling in two-stage mode
 	// (default: DelayedWriteRate).
 	FloorRate float64
+	// RateChanged, if non-nil, observes every AdjustRate step with the
+	// pre- and post-clamp rates. It is called without the controller
+	// lock held and must not call back into the controller.
+	RateChanged func(oldRate, newRate float64, behind bool)
 }
 
 // New returns a controller charging delays to clk.
@@ -118,6 +141,7 @@ func New(clk clock.Clock, cfg Config) *Controller {
 		minRate:     1 << 20, // 1 MiB/s lower clamp
 		maxRate:     1 << 30, // 1 GiB/s upper clamp
 		lastRefill:  clk.Now(),
+		rateChanged: cfg.RateChanged,
 	}
 }
 
@@ -146,6 +170,7 @@ func (c *Controller) CurrentState() State {
 // decreases the rate by Dec; otherwise increases by Inc.
 func (c *Controller) AdjustRate(behind bool) {
 	c.mu.Lock()
+	oldRate := c.rate
 	if behind {
 		c.rate *= Dec
 	} else {
@@ -157,8 +182,12 @@ func (c *Controller) AdjustRate(behind bool) {
 	if c.rate > c.maxRate {
 		c.rate = c.maxRate
 	}
+	newRate := c.rate
 	c.adjustments++
 	c.mu.Unlock()
+	if c.rateChanged != nil {
+		c.rateChanged(oldRate, newRate, behind)
+	}
 }
 
 // Rate returns the current delayed_write_rate in bytes/second.

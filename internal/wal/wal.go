@@ -45,11 +45,19 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // framing checks. Recovery treats it as the end of the usable log.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Writer appends logical records to a log file.
+// Writer appends logical records to a log file. It is not safe for
+// concurrent use; the engine serializes access at the write-queue head.
 type Writer struct {
 	f           vfs.File
 	blockOffset int // offset within the current block
 	buf         []byte
+
+	// Sync accounting for the event stream and stats reporter:
+	// appended counts every byte written (payload + framing + padding),
+	// synced the bytes made durable by completed Syncs.
+	appended int64
+	synced   int64
+	syncs    int64
 }
 
 // NewWriter returns a Writer appending to f, which must be empty or
@@ -70,6 +78,7 @@ func (w *Writer) AddRecord(payload []byte) error {
 				if _, err := w.f.Write(zeros[:leftover]); err != nil {
 					return fmt.Errorf("wal: pad block: %w", err)
 				}
+				w.appended += int64(leftover)
 			}
 			w.blockOffset = 0
 			leftover = BlockSize
@@ -119,11 +128,30 @@ func (w *Writer) emit(t byte, payload []byte) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	w.blockOffset += headerSize + len(payload)
+	w.appended += int64(headerSize + len(payload))
 	return nil
 }
 
 // Sync persists all appended records to the device.
-func (w *Writer) Sync() error { return w.f.Sync() }
+func (w *Writer) Sync() error {
+	err := w.f.Sync()
+	if err == nil {
+		w.synced = w.appended
+		w.syncs++
+	}
+	return err
+}
+
+// Appended returns the total bytes written to the log (including
+// framing and padding).
+func (w *Writer) Appended() int64 { return w.appended }
+
+// Pending returns the bytes appended since the last successful Sync —
+// what the next Sync will make durable.
+func (w *Writer) Pending() int64 { return w.appended - w.synced }
+
+// Syncs returns the number of completed Syncs.
+func (w *Writer) Syncs() int64 { return w.syncs }
 
 // Reader reads logical records back from a log file.
 type Reader struct {

@@ -31,12 +31,14 @@
 package xpointdb
 
 import (
+	"io"
 	"time"
 
 	"xpointdb/internal/batch"
 	"xpointdb/internal/clock"
 	"xpointdb/internal/costmodel"
 	"xpointdb/internal/engine"
+	"xpointdb/internal/events"
 	"xpointdb/internal/sim"
 	"xpointdb/internal/sstable"
 	"xpointdb/internal/storage"
@@ -62,8 +64,34 @@ type Iter = engine.Iter
 // release it when done.
 type Snapshot = engine.Snapshot
 
-// Metrics is the engine's live instrumentation.
-type Metrics = engine.Metrics
+// Metrics is the engine's live instrumentation; MetricsSnapshot is a
+// consistent plain-value copy taken with Metrics.Snapshot.
+type (
+	Metrics         = engine.Metrics
+	MetricsSnapshot = engine.MetricsSnapshot
+)
+
+// PerfContext is a per-operation stage breakdown filled by
+// DB.GetWithPerf and DB.ApplyWithPerf (or internally when
+// Options.CollectPerf is set).
+type PerfContext = engine.PerfContext
+
+// Structured event log (Options.EventListener): Event is the envelope,
+// EventListener the sink interface, EventLog the JSON-lines file sink,
+// and EventBuffer an in-memory sink for tests and demos.
+type (
+	Event         = events.Event
+	EventListener = events.Listener
+	EventLog      = events.EventLog
+	EventBuffer   = events.Buffer
+)
+
+// NewEventLog returns a JSON-lines event sink writing to w.
+func NewEventLog(w io.Writer) *EventLog { return events.NewEventLog(w) }
+
+// DecodeEvents reads back a JSON-lines event stream written by an
+// EventLog.
+func DecodeEvents(r io.Reader) ([]Event, error) { return events.Decode(r) }
 
 // Sentinel errors.
 var (
