@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all tier1 tier2 bench-observability
+# Tier-3 knobs: iterations of the seeded crash-consistency torture
+# harness and the per-target budget for the native fuzz targets.
+TORTURE_ITERS ?= 50
+FUZZTIME ?= 10s
+
+.PHONY: all tier1 tier2 tier3 bench-observability
 
 all: tier1
 
@@ -13,6 +18,21 @@ tier1:
 # internal/engine/observe_test.go and internal/events).
 tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
+
+# Tier-3: crash-consistency and robustness. Runs the seeded torture
+# harness (random workload + fault injection + crash at a random
+# fs-op boundary + reopen + durability-contract verification; failing
+# seeds are printed and reproducible with `go run ./cmd/torture -seed N`)
+# and a bounded run of every native fuzz target over the committed
+# corpora (regenerate with `go run ./cmd/genfuzzcorpus`).
+tier3:
+	$(GO) test ./internal/engine -run TestTortureCrashRecovery -count=1 \
+		-args -torture.iters=$(TORTURE_ITERS)
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReadRecord$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWriterReaderRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sstable -run '^$$' -fuzz '^FuzzBlockIter$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sstable -run '^$$' -fuzz '^FuzzTableReader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/batch -run '^$$' -fuzz '^FuzzFromRepr$$' -fuzztime $(FUZZTIME)
 
 # Re-measure the write-path instrumentation overhead recorded in
 # BENCH_observability.json (fillrandom on the simulated device, bare

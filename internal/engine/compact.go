@@ -105,8 +105,12 @@ func (db *DB) compactWorker() {
 	for {
 		var c *compaction
 		for !db.closed {
-			if c = db.pickCompactionLocked(); c != nil {
-				break
+			// Idle while a background error is latched: no version
+			// edit can be committed, so compaction work is wasted.
+			if db.bgErr == nil {
+				if c = db.pickCompactionLocked(); c != nil {
+					break
+				}
 			}
 			db.bgCond.Wait()
 		}
@@ -260,6 +264,16 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 		}
 
 		if !haveLast || !bytes.Equal(userKey, lastUserKey) {
+			// Output files may only be cut at user-key boundaries:
+			// L1+ files must be disjoint in user-key space, and
+			// snapshots can retain several versions of one key, so
+			// cutting on size alone could strand versions of the
+			// same key in adjacent files — an invalid version edit.
+			if builder != nil && builder.EstimatedSize() >= db.opts.TargetFileSize {
+				if err := finishOutput(); err != nil {
+					return stats, err
+				}
+			}
 			lastUserKey = append(lastUserKey[:0], userKey...)
 			haveLast = true
 			prevStripe = -1
@@ -302,11 +316,6 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 		}
 		if err := builder.Add(ikey, merged.Value()); err != nil {
 			return stats, err
-		}
-		if builder.EstimatedSize() >= db.opts.TargetFileSize {
-			if err := finishOutput(); err != nil {
-				return stats, err
-			}
 		}
 	}
 	if err := merged.Error(); err != nil {

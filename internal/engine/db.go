@@ -36,6 +36,14 @@ var ErrClosed = errors.New("engine: database is closed")
 // ErrNotFound is returned by Get when the key does not exist.
 var ErrNotFound = errors.New("engine: key not found")
 
+// ErrBackground wraps a latched background error. Once a WAL sync or
+// MANIFEST write fails, the DB cannot honor its durability contract
+// for further writes, so every subsequent write fails fast with an
+// error matching this (RocksDB's background-error semantics) instead
+// of acknowledging data that may not survive a crash. Reads still
+// work; reopening the DB recovers to the last durable state.
+var ErrBackground = errors.New("engine: background error")
+
 // flushedMem is an immutable memtable queued for flushing, together
 // with the WAL file that covers it and the sequence watermark at its
 // rotation: once this memtable is flushed, every sequence ≤ maxSeq is
@@ -88,6 +96,7 @@ type DB struct {
 	compactCursor [manifest.NumLevels]int
 	stallState    throttle.State
 	closed        bool
+	bgErr         error // latched background error (nil = healthy)
 	liveWorkers   int
 	memBudget     int64 // current memtable size target (adaptive L0)
 
@@ -296,14 +305,50 @@ func (db *DB) Close() error {
 	for db.liveWorkers > 0 {
 		db.bgCond.Wait()
 	}
+	bg := db.bgErr
 	db.mu.Unlock()
 
+	var err error
 	if db.walFile != nil {
-		_ = db.walWriter.Sync()
+		if bg == nil {
+			// The final sync covers acknowledged-but-unsynced writes;
+			// its failure must be reported, not swallowed — the
+			// caller would otherwise believe the data durable.
+			if serr := db.walWriter.Sync(); serr != nil {
+				err = fmt.Errorf("engine: close: wal sync: %w", serr)
+			}
+		}
 		_ = db.walFile.Close()
 	}
 	db.tables.close()
-	return db.vs.Close()
+	if cerr := db.vs.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// BackgroundError returns the latched background error, or nil while
+// the DB is healthy.
+func (db *DB) BackgroundError() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.bgErr
+}
+
+// setBackgroundErrorLocked latches err (first one wins) as the DB's
+// background error: all subsequent writes fail fast with a wrapped
+// ErrBackground. op names the failing path (wal-sync, wal-append,
+// wal-rotate-sync, manifest-append, manifest-install). Callers hold
+// db.mu.
+func (db *DB) setBackgroundErrorLocked(op string, err error) {
+	if db.bgErr != nil || err == nil {
+		return
+	}
+	db.bgErr = fmt.Errorf("%w: %s: %v", ErrBackground, op, err)
+	db.opts.logf("background error latched (%s): %v", op, err)
+	db.emitBackgroundError(op, err)
+	// Wake writers and workers so they observe the latch.
+	db.bgCond.Broadcast()
 }
 
 // Metrics returns the engine's live instrumentation.
@@ -406,11 +451,17 @@ func (db *DB) deleteObsoleteFiles() {
 	}
 	logNum := db.vs.LogNum
 	curWAL := db.walNum
+	manifestNum := db.vs.ManifestNum()
 	db.mu.Unlock()
 
 	for _, n := range names {
-		if t, num := manifest.ParseName(n); t == manifest.TypeSST && !live[num] {
+		switch t, num := manifest.ParseName(n); {
+		case t == manifest.TypeSST && !live[num]:
 			db.tables.evict(num)
+			_ = db.fs.Remove(n)
+		case t == manifest.TypeManifest && num != manifestNum:
+			// Recovery rolls to a fresh manifest; superseded ones
+			// linger only if the post-roll Remove failed.
 			_ = db.fs.Remove(n)
 		}
 	}

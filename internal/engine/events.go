@@ -132,3 +132,15 @@ func (db *DB) emitWALSync(walNum uint64, bytes int64, d time.Duration, err error
 	}
 	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: events.KindWALSync, WALSync: ws})
 }
+
+// emitBackgroundError records the moment a background error latched.
+func (db *DB) emitBackgroundError(op string, err error) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{
+		TS:      db.clk.Now(),
+		Kind:    events.KindBackgroundError,
+		BGError: &events.BGError{Op: op, Error: err.Error()},
+	})
+}

@@ -15,7 +15,9 @@ import (
 func (db *DB) flushWorker() {
 	db.mu.Lock()
 	for {
-		for !db.closed && len(db.imms) == 0 {
+		// Idle while a background error is latched: retrying a flush
+		// against a failed MANIFEST or WAL only multiplies damage.
+		for !db.closed && (len(db.imms) == 0 || db.bgErr != nil) {
 			db.bgCond.Wait()
 		}
 		if db.closed {
@@ -161,8 +163,13 @@ func (db *DB) buildTable(num uint64, src iterator.Iterator) (*manifest.FileMeta,
 // db.mu, serialized by manifestBusy. Called without db.mu.
 func (db *DB) commitEdit(edit *manifest.Edit) error {
 	db.mu.Lock()
-	for db.manifestBusy {
+	for db.manifestBusy && db.bgErr == nil {
 		db.bgCond.Wait()
+	}
+	if db.bgErr != nil {
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
 	}
 	db.manifestBusy = true
 	payload := db.vs.Prepare(edit)
@@ -172,8 +179,18 @@ func (db *DB) commitEdit(edit *manifest.Edit) error {
 
 	db.mu.Lock()
 	db.manifestBusy = false
-	if err == nil {
-		err = db.vs.Install(edit)
+	if err != nil {
+		// A failed MANIFEST append (write or sync) may leave a torn
+		// edit at the log's tail; appending more edits after it would
+		// put them beyond a corruption that ends recovery replay.
+		// Latch: the version state on disk is frozen until reopen.
+		db.setBackgroundErrorLocked("manifest-append", err)
+	} else {
+		if err = db.vs.Install(edit); err != nil {
+			// In-memory apply failed after the durable append — the
+			// disk and memory states have diverged.
+			db.setBackgroundErrorLocked("manifest-install", err)
+		}
 	}
 	db.updateStallStateLocked()
 	db.bgCond.Broadcast()

@@ -7,18 +7,42 @@ import (
 	"testing"
 
 	"xpointdb/internal/batch"
+	"xpointdb/internal/clock"
+	"xpointdb/internal/faultfs"
+	"xpointdb/internal/storage"
 	"xpointdb/internal/throttle"
+	"xpointdb/internal/vfs"
 )
 
 // TestRandomOpsAgainstModel applies a long random sequence of puts,
 // deletes, batched writes, flush-inducing fills, and reopens, checking
-// the DB against an in-memory reference model after each phase.
+// the DB against an in-memory reference model after each phase. The DB
+// runs on a faultfs so crash phases can exercise progressively nastier
+// crash images: clean (synced data only), partial-sync (a random
+// prefix of unsynced data survives), and torn (surviving unsynced
+// bytes are bit-flipped). With SyncWAL=true every acknowledged write
+// is synced, so the model must survive all three modes unchanged.
 func TestRandomOpsAgainstModel(t *testing.T) {
-	db, fs := newTestDB(t, func(o *Options) {
-		o.MemtableSize = 32 << 10 // frequent flushes
-		o.TargetFileSize = 32 << 10
-		o.BaseLevelBytes = 64 << 10
-	})
+	newFFS := func(inner *vfs.MemFS, seed int64) *faultfs.FS {
+		t.Helper()
+		ffs, err := faultfs.New(inner, seed)
+		if err != nil {
+			t.Fatalf("faultfs.New: %v", err)
+		}
+		return ffs
+	}
+	mem := vfs.NewMem(storage.New(clock.Real{}, storage.Null()))
+	fs := newFFS(mem, 12345)
+	opts := DefaultOptions(fs)
+	opts.MemtableSize = 32 << 10 // frequent flushes
+	opts.TargetFileSize = 32 << 10
+	opts.BaseLevelBytes = 64 << 10
+	opts.ThrottleMode = throttle.ModeNone
+	opts.SyncWAL = true
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
 	model := make(map[string]string)
 	rng := rand.New(rand.NewSource(12345))
 
@@ -120,26 +144,40 @@ func TestRandomOpsAgainstModel(t *testing.T) {
 		}
 		checkAll(fmt.Sprintf("phase %d", phase))
 
-		// Every other phase: crash (unsynced data loss is not
-		// expected because SyncWAL=true) and reopen.
+		// Every other phase: crash and reopen. Each crash phase uses a
+		// harsher materialization mode; acknowledged data is synced
+		// (SyncWAL=true), so even torn unsynced bytes must not change
+		// what the model observes.
 		if phase%2 == 1 {
-			crashed := fs.CrashClone()
-			if err := db.Close(); err != nil {
-				t.Fatal(err)
+			var mode faultfs.CrashOpts
+			var modeName string
+			switch phase {
+			case 1:
+				mode, modeName = faultfs.CrashOpts{}, "clean"
+			case 3:
+				mode, modeName = faultfs.CrashOpts{KeepUnsynced: true}, "partial-sync"
+			default:
+				mode, modeName = faultfs.CrashOpts{KeepUnsynced: true, Torn: true}, "torn"
 			}
-			opts := DefaultOptions(crashed)
+			snap := fs.ForceCrash()
+			_ = db.Close() // post-crash close may report the frozen fs
+			dev := storage.New(clock.Real{}, storage.Null())
+			img, err := snap.Materialize(dev, rng, mode)
+			if err != nil {
+				t.Fatalf("phase %d: materialize %s crash: %v", phase, modeName, err)
+			}
+			fs = newFFS(img, 12345+int64(phase))
+			opts := DefaultOptions(fs)
 			opts.MemtableSize = 32 << 10
 			opts.TargetFileSize = 32 << 10
 			opts.BaseLevelBytes = 64 << 10
 			opts.ThrottleMode = throttle.ModeNone
 			opts.SyncWAL = true
-			var err error
 			db, err = Open(opts)
 			if err != nil {
-				t.Fatalf("reopen after crash: %v", err)
+				t.Fatalf("reopen after %s crash: %v", modeName, err)
 			}
-			fs = crashed
-			checkAll(fmt.Sprintf("phase %d post-crash", phase))
+			checkAll(fmt.Sprintf("phase %d post-crash (%s)", phase, modeName))
 		}
 	}
 	db.Close()

@@ -1,0 +1,38 @@
+package engine_test
+
+import (
+	"flag"
+	"testing"
+
+	"xpointdb/internal/torture"
+)
+
+var (
+	tortureIters = flag.Int("torture.iters", 12,
+		"crash-consistency torture iterations (make tier3 runs 50+)")
+	tortureSeed = flag.Int64("torture.seed", 1,
+		"base seed; iteration i runs with seed+i")
+	tortureOps = flag.Int("torture.ops", 0,
+		"ops per iteration (0 = harness default)")
+)
+
+// TestTortureCrashRecovery runs the seeded crash-consistency torture
+// harness: random workload, fault injection, crash at a random
+// filesystem-op boundary, reopen, verify the durability contract
+// against the oracle. On failure it prints the exact seed to repro
+// with `go run ./cmd/torture -seed N`.
+func TestTortureCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture harness skipped in -short mode")
+	}
+	for i := 0; i < *tortureIters; i++ {
+		seed := *tortureSeed + int64(i)
+		cfg := torture.Config{Seed: seed, Ops: *tortureOps}
+		if testing.Verbose() {
+			cfg.Logf = t.Logf
+		}
+		if err := torture.Run(cfg); err != nil {
+			t.Fatalf("%v\n\nreproduce with: go run ./cmd/torture -seed %d", err, seed)
+		}
+	}
+}

@@ -118,6 +118,13 @@ func (db *DB) ApplyWithPerf(b *batch.Batch, syncWAL bool, pc *PerfContext) error
 		db.mu.Unlock()
 		return ErrClosed
 	}
+	if db.bgErr != nil {
+		// Latched background error: fail fast instead of queueing a
+		// write whose durability the engine can no longer promise.
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
+	}
 	w.cv = db.clk.NewCond(db.mu)
 	db.writers = append(db.writers, w)
 	db.metrics.WaitingWriters.Add(1)
@@ -177,6 +184,11 @@ func (db *DB) Flush() error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
+	if db.bgErr != nil {
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
+	}
 	w.cv = db.clk.NewCond(db.mu)
 	db.writers = append(db.writers, w)
 	for w.state == stateQueued && db.writers[0] != w {
@@ -191,8 +203,13 @@ func (db *DB) Flush() error {
 		db.popGroupLocked([]*writer{w})
 	}
 	// Wait for the flush worker to drain the immutables.
-	for w.err == nil && !db.closed && (len(db.imms) > 0 || db.flushing) {
+	for w.err == nil && !db.closed && db.bgErr == nil && (len(db.imms) > 0 || db.flushing) {
 		db.bgCond.Wait()
+	}
+	if w.err == nil && db.bgErr != nil {
+		// The flush worker idles while a background error is latched;
+		// the immutables will not drain.
+		w.err = db.bgErr
 	}
 	db.mu.Unlock()
 	return w.err
@@ -256,6 +273,7 @@ func (db *DB) leaderCommit(leader *writer) {
 	// via the cost model — and only syncs to the device when a
 	// writer asked for it (Options.SyncWAL or Apply(sync=true)).
 	var walErr error
+	walOp := "wal-append"
 	if !db.opts.DisableWAL {
 		walStart := db.clk.Now()
 		rep := db.combinedRepr(group)
@@ -269,6 +287,7 @@ func (db *DB) leaderCommit(leader *writer) {
 		}
 		walEnd := appendDone
 		if walErr == nil && syncNeeded {
+			walOp = "wal-sync"
 			pending := db.walWriter.Pending()
 			walErr = db.walWriter.Sync()
 			walEnd = db.clk.Now()
@@ -290,6 +309,12 @@ func (db *DB) leaderCommit(leader *writer) {
 	db.popGroupLocked(group.members)
 
 	if walErr != nil {
+		// Both failures poison the log for everyone after this group:
+		// a failed append may leave a torn record that ends replay
+		// early, and a failed sync means acknowledged-but-unsynced
+		// data may already be lost. Latch so later writes fail fast
+		// instead of appending after the damage.
+		db.setBackgroundErrorLocked(walOp, walErr)
 		group.err = walErr
 		for _, m := range group.members {
 			m.err = walErr
@@ -425,6 +450,11 @@ func (db *DB) makeRoomForWrite() error {
 		case db.closed:
 			return ErrClosed
 
+		case db.bgErr != nil:
+			// Fail instead of waiting on background work (flush and
+			// compaction idle while the error is latched).
+			return db.bgErr
+
 		case db.stallState == throttle.StateStopped:
 			// L0 reached the stop threshold: block until compaction
 			// clears it (the near-stop situation of case study A).
@@ -458,6 +488,11 @@ func (db *DB) rotateMemtableLocked(reason string) error {
 		db.bgCond.Wait()
 	}
 	for len(db.imms) >= db.opts.MaxImmutables {
+		if db.bgErr != nil {
+			// The flush worker idles while a background error is
+			// latched; the immutable queue will never drain.
+			return db.bgErr
+		}
 		db.bgCond.Broadcast() // make sure the flush worker is awake
 		db.bgCond.Wait()
 		if db.closed {
@@ -480,11 +515,12 @@ func (db *DB) rotateMemtableLocked(reason string) error {
 		// failed create must leave the previous WAL usable.
 		newFile, err = db.walFS.Create(manifest.WALName(newNum))
 	}
+	var serr error
 	if err == nil && oldWAL != nil {
 		// Make the rotated memtable's log durable.
 		pending := oldWAL.Pending()
 		t0 := db.clk.Now()
-		serr := oldWAL.Sync()
+		serr = oldWAL.Sync()
 		if serr == nil {
 			db.metrics.WALSyncs.Add(1)
 			db.metrics.WALSyncBytes.Add(pending)
@@ -492,10 +528,22 @@ func (db *DB) rotateMemtableLocked(reason string) error {
 		db.emitWALSync(oldWALNum, pending, db.clk.Now().Sub(t0), serr)
 		_ = oldWALFile.Close()
 	}
+	if serr != nil && newFile != nil {
+		// The rotation is aborted; release the unused replacement.
+		_ = newFile.Close()
+	}
 
 	db.mu.Lock()
 	if err != nil {
 		return fmt.Errorf("engine: rotate wal: %w", err)
+	}
+	if serr != nil {
+		// The old log's unsynced tail — already acknowledged to
+		// writers — may not be durable. Unlike a failed create (a
+		// transient, retriable condition with the old WAL intact),
+		// this breaks the durability contract: latch it.
+		db.setBackgroundErrorLocked("wal-rotate-sync", serr)
+		return fmt.Errorf("engine: rotate wal: sync old log: %w", serr)
 	}
 	if !db.opts.DisableWAL {
 		db.walFile = newFile

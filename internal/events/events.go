@@ -38,6 +38,8 @@ const (
 	KindStallChange     Kind = "stall_change"
 	KindRateChange      Kind = "rate_change"
 	KindWALSync         Kind = "wal_sync"
+	KindFSOp            Kind = "fs_op"
+	KindBackgroundError Kind = "background_error"
 )
 
 // Event is the envelope written as one JSON line. Exactly one payload
@@ -57,6 +59,8 @@ type Event struct {
 	Stall      *Stall      `json:"stall,omitempty"`
 	Rate       *Rate       `json:"rate,omitempty"`
 	WALSync    *WALSync    `json:"wal_sync,omitempty"`
+	FSOp       *FSOp       `json:"fs_op,omitempty"`
+	BGError    *BGError    `json:"background_error,omitempty"`
 }
 
 // Flush describes a memtable flush (begin and end share the struct;
@@ -130,6 +134,37 @@ type WALSync struct {
 	Bytes      int64  `json:"bytes"`
 	DurationUS int64  `json:"duration_us"`
 	Error      string `json:"error,omitempty"`
+}
+
+// FSOp records one filesystem operation observed by a tracing
+// filesystem wrapper (package faultfs). The trace is the storage-layer
+// ground truth a crash-consistency failure is diagnosed against: which
+// writes and syncs actually reached each file, in what order, and
+// which had faults injected.
+type FSOp struct {
+	// Op is the operation name (create, open, write, read_at, sync,
+	// close, remove, rename, list, size).
+	Op string `json:"op"`
+	// Path is the file the operation targeted (old name for rename).
+	Path string `json:"path,omitempty"`
+	// Bytes is the payload size for write/read_at operations.
+	Bytes int `json:"bytes,omitempty"`
+	// DurationUS is the operation latency, including injected delay.
+	DurationUS int64  `json:"duration_us,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Injected marks a fault (error, torn write, or latency) applied
+	// by the wrapper rather than the underlying filesystem.
+	Injected bool `json:"injected,omitempty"`
+}
+
+// BGError records the engine latching a background error: a WAL or
+// MANIFEST write/sync failure after which the DB refuses new writes
+// instead of acknowledging data it can no longer promise is durable.
+type BGError struct {
+	// Op names the failed path: wal-append, wal-sync,
+	// wal-rotate-sync, manifest-append, manifest-install.
+	Op    string `json:"op"`
+	Error string `json:"error"`
 }
 
 // Listener receives events. Implementations must be safe for

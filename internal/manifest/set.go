@@ -106,42 +106,61 @@ func Recover(fs vfs.FS) (*Set, error) {
 	}
 	mf.Close()
 
-	// Reopen the manifest for appending further edits.
-	af, err := fs.Open(name)
-	if err != nil {
-		return nil, fmt.Errorf("manifest: reopen %s: %w", name, err)
-	}
-	s.manifestFile = af
-	w, err := reopenWriter(af)
-	if err != nil {
+	// Roll to a fresh manifest instead of appending past the old one's
+	// tail (RocksDB behavior). Appending after a torn tail is a
+	// correctness trap: replay stops at the first corruption, so edits
+	// written beyond it would be silently dropped by the next
+	// recovery. A fresh manifest with a full snapshot edit has no
+	// tail to trip over, and makes the old file garbage.
+	if err := s.rollManifest(); err != nil {
 		return nil, err
 	}
-	s.manifestLog = w
 	return s, nil
 }
 
-// reopenWriter returns a wal.Writer appending to a log file that may
-// end mid-block. To keep the writer's block accounting valid we pad
-// the file to a block boundary first (wasted space, bounded by one
-// block; RocksDB instead rolls to a fresh manifest, which we also do
-// on open in the engine for large manifests).
-func reopenWriter(f vfs.File) (*wal.Writer, error) {
-	// Walk the log to find its end, then zero-pad to the next block
-	// boundary so the fresh Writer's block accounting is valid.
-	r := wal.NewReader(f)
-	for {
-		if _, err := r.ReadRecord(); err != nil {
-			break
+// rollManifest creates a new MANIFEST holding one snapshot edit of the
+// entire current state, points CURRENT at it, and removes the old
+// file. On failure the old manifest remains CURRENT and intact.
+func (s *Set) rollManifest() error {
+	oldNum := s.manifestNum
+	// The replayed NextFileNum may predate the old manifest's own
+	// number (it is allocated before the snapshot edit is written);
+	// never hand out a number at or below it.
+	if s.NextFileNum <= oldNum {
+		s.NextFileNum = oldNum + 1
+	}
+	newNum := s.AllocFileNum()
+	f, err := s.fs.Create(ManifestName(newNum))
+	if err != nil {
+		return fmt.Errorf("manifest: roll: %w", err)
+	}
+	w := wal.NewWriter(f)
+	next, last, log := s.NextFileNum, s.LastSeq, s.LogNum
+	edit := &Edit{NextFileNum: &next, LastSeq: &last, LogNum: &log}
+	for l := 0; l < NumLevels; l++ {
+		for _, fm := range s.current.Files[l] {
+			edit.Added = append(edit.Added, AddedFile{Level: l, Meta: fm})
 		}
 	}
-	size := r.Offset()
-	pad := (wal.BlockSize - size%wal.BlockSize) % wal.BlockSize
-	if pad > 0 {
-		if _, err := f.Write(make([]byte, pad)); err != nil {
-			return nil, fmt.Errorf("manifest: pad for reopen: %w", err)
-		}
+	if err := w.AddRecord(edit.Encode()); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: roll snapshot: %w", err)
 	}
-	return wal.NewWriter(f), nil
+	if err := w.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: roll sync: %w", err)
+	}
+	if err := s.setCurrent(newNum); err != nil {
+		f.Close()
+		return err
+	}
+	s.manifestNum = newNum
+	s.manifestFile = f
+	s.manifestLog = w
+	// Best effort: the old manifest is unreferenced now; the engine's
+	// obsolete-file sweep also catches it.
+	_ = s.fs.Remove(ManifestName(oldNum))
+	return nil
 }
 
 // applyMeta applies an edit's allocator fields and file changes to the
@@ -212,6 +231,10 @@ func (s *Set) Install(edit *Edit) error { return s.applyMeta(edit) }
 
 // Current returns the live version.
 func (s *Set) Current() *Version { return s.current }
+
+// ManifestNum returns the file number of the live MANIFEST (for the
+// obsolete-file sweep: any other manifest file is garbage).
+func (s *Set) ManifestNum() uint64 { return s.manifestNum }
 
 // AllocFileNum returns a fresh file number.
 func (s *Set) AllocFileNum() uint64 {

@@ -119,6 +119,10 @@ func newBlockIter(contents []byte) (*blockIter, error) {
 
 // decodeAt decodes the entry at off, building the full key from prev.
 func (it *blockIter) decodeAt(off int) bool {
+	if off < 0 {
+		it.corrupt(off)
+		return false
+	}
 	if off >= len(it.data) {
 		it.valid = false
 		return false
@@ -142,11 +146,21 @@ func (it *blockIter) decodeAt(off int) bool {
 		return false
 	}
 	p = p[n3:]
-	if uint64(len(p)) < unshared+vlen || uint64(len(it.key)) < shared {
+	// Overflow-safe bounds checks: unshared+vlen can wrap uint64 on
+	// hostile input, and each length must individually fit the
+	// remaining data before any slicing or int conversion.
+	if unshared > uint64(len(p)) || vlen > uint64(len(p))-unshared ||
+		shared > uint64(len(it.key)) {
 		it.corrupt(off)
 		return false
 	}
 	it.key = append(it.key[:shared], p[:unshared]...)
+	if len(it.key) < keys.TrailerLen {
+		// Data and index blocks hold internal keys only; anything
+		// shorter would panic the key comparator downstream.
+		it.corrupt(off)
+		return false
+	}
 	it.val = p[unshared : unshared+vlen]
 	it.off = off
 	it.nextOff = off + n1 + n2 + n3 + int(unshared) + int(vlen)

@@ -28,13 +28,21 @@ func flateCompress(contents []byte) ([]byte, bool) {
 	return buf.Bytes(), true
 }
 
+// maxBlockInflate caps a decompressed block's size. Blocks are built
+// to a few KiB, so anything approaching this is corrupt or hostile
+// input (a flate bomb) — fail instead of allocating unboundedly.
+const maxBlockInflate = 64 << 20
+
 // flateDecompress inflates a compressed block.
 func flateDecompress(compressed []byte) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(compressed))
 	defer r.Close()
-	out, err := io.ReadAll(r)
+	out, err := io.ReadAll(io.LimitReader(r, maxBlockInflate+1))
 	if err != nil {
 		return nil, fmt.Errorf("inflate: %w", err)
+	}
+	if len(out) > maxBlockInflate {
+		return nil, fmt.Errorf("inflate: block exceeds %d bytes", maxBlockInflate)
 	}
 	return out, nil
 }

@@ -333,6 +333,16 @@ func NewReader(f vfs.File, size int64, fileNum uint64, c *cache.Cache) (*Reader,
 // readBlock reads, verifies, and decompresses a block, bypassing the
 // cache.
 func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
+	// Validate the handle against the file size before allocating:
+	// handles come from on-disk bytes (footer, index entries) and a
+	// corrupt one must not trigger a huge allocation or an offset
+	// overflow. Each comparison is individually overflow-safe.
+	sz := uint64(r.size)
+	if h.offset > sz || h.length > sz-h.offset ||
+		blockTrailerLen > sz-h.offset-h.length {
+		return nil, fmt.Errorf("sstable: block handle (%d,%d) exceeds file size %d",
+			h.offset, h.length, r.size)
+	}
 	buf := make([]byte, h.length+blockTrailerLen)
 	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
 		return nil, err

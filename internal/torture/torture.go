@@ -1,0 +1,448 @@
+// Package torture is the crash-consistency torture harness: it runs a
+// seeded random workload against the engine on a fault-injecting
+// filesystem (internal/faultfs), crashes the filesystem at a random
+// operation boundary — optionally keeping a partial or bit-flipped
+// unsynced tail — reopens the database from the crash image, and
+// verifies the durability contract against an in-memory oracle.
+//
+// The contract checked on every run:
+//
+//  1. Prefix durability. Every workload batch writes a monotone marker
+//     key ("@cut" = the op index), so the recovered marker identifies
+//     the exact surviving prefix c of the submitted op sequence. The
+//     recovered keyspace must equal the oracle's replay of ops[0..c] —
+//     no phantom, lost, or corrupted values.
+//  2. Sync floor. c must cover every operation whose WAL sync was
+//     acknowledged before the crash point (nothing acknowledged-synced
+//     may be lost).
+//  3. Crash ceiling. c must not exceed the last operation submitted
+//     before the crash snapshot froze (nothing from the future).
+//  4. Recovery must succeed — torn WAL/MANIFEST tails truncate
+//     cleanly — and the reopened DB must accept writes, survive a
+//     second reopen, and still verify (MANIFEST roll-forward works).
+//
+// Given the same seed, every workload, fault, and crash-materialization
+// decision is reproduced exactly. The crash point is an exact
+// filesystem-operation count; which engine state that op count lands
+// on can still vary with goroutine scheduling, so a failing seed is a
+// strong — not bit-perfect — reproducer. The contract above is
+// interleaving-independent, so any run that fails it is a real bug.
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"xpointdb/internal/batch"
+	"xpointdb/internal/clock"
+	"xpointdb/internal/engine"
+	"xpointdb/internal/faultfs"
+	"xpointdb/internal/storage"
+	"xpointdb/internal/throttle"
+	"xpointdb/internal/vfs"
+)
+
+// cutKey is the monotone marker included in every workload batch.
+const cutKey = "@cut"
+
+// Config parameterizes one torture iteration.
+type Config struct {
+	// Seed drives every random decision (workload, faults, crash
+	// point, surviving-tail selection).
+	Seed int64
+	// Ops is the workload length (default 1200).
+	Ops int
+	// Keys is the key-universe size (default 240).
+	Keys int
+	// PostCrashOps continues the workload this many operations past
+	// the crash point (default 60), exercising the window where the
+	// live DB has diverged from the frozen disk image.
+	PostCrashOps int
+	// PostRecoveryOps writes after recovery to prove the reopened DB
+	// is healthy and its MANIFEST progress survives another reopen
+	// (default 20).
+	PostRecoveryOps int
+	// Logf, when set, receives verbose progress (e.g. t.Logf).
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops <= 0 {
+		c.Ops = 1200
+	}
+	if c.Keys <= 0 {
+		c.Keys = 240
+	}
+	if c.PostCrashOps <= 0 {
+		c.PostCrashOps = 60
+	}
+	if c.PostRecoveryOps <= 0 {
+		c.PostRecoveryOps = 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// mut is one key mutation inside a workload op.
+type mut struct {
+	key, val string
+	del      bool
+}
+
+// op is one submitted workload batch: its mutations plus the cut
+// marker value identifying it.
+type op struct {
+	muts []mut
+	sync bool
+}
+
+// geometry is the seeded engine configuration of one run.
+type geometry struct {
+	memtableSize   int64
+	targetFileSize int64
+	baseLevelBytes int64
+	l0Trigger      int
+	pipelined      bool
+	blockSize      int
+}
+
+func pickGeometry(rng *rand.Rand) geometry {
+	return geometry{
+		// Small tables force frequent rotation, flush, and compaction,
+		// so crashes land inside interesting machinery.
+		memtableSize:   int64(4<<10) + rng.Int63n(28<<10),
+		targetFileSize: int64(8<<10) + rng.Int63n(24<<10),
+		baseLevelBytes: int64(32<<10) + rng.Int63n(64<<10),
+		l0Trigger:      2 + rng.Intn(3),
+		pipelined:      rng.Intn(2) == 0,
+		blockSize:      1<<10 + rng.Intn(3)<<10,
+	}
+}
+
+func (g geometry) apply(o *engine.Options) {
+	o.MemtableSize = g.memtableSize
+	o.TargetFileSize = g.targetFileSize
+	o.BaseLevelBytes = g.baseLevelBytes
+	o.L0CompactionTrigger = g.l0Trigger
+	o.L0SlowdownTrigger = g.l0Trigger + 6
+	o.L0StopTrigger = g.l0Trigger + 12
+	o.PipelinedWrites = g.pipelined
+	o.BlockSize = g.blockSize
+	o.ThrottleMode = throttle.ModeNone
+	o.SyncWAL = false // per-op sync decided by the workload
+}
+
+// violation renders a durability-contract failure with full repro
+// context.
+func violation(cfg Config, mode string, format string, args ...interface{}) error {
+	return fmt.Errorf("torture seed %d (crash mode %s): DURABILITY VIOLATION: %s",
+		cfg.Seed, mode, fmt.Sprintf(format, args...))
+}
+
+// Run executes one seeded crash/recovery iteration and returns nil if
+// the durability contract held, or a detailed violation error.
+func Run(cfg Config) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	dev := storage.New(clock.Real{}, storage.Null())
+	ffs, err := faultfs.New(vfs.NewMem(dev), rng.Int63())
+	if err != nil {
+		return fmt.Errorf("torture seed %d: faultfs: %w", cfg.Seed, err)
+	}
+	geo := pickGeometry(rng)
+	opts := engine.DefaultOptions(ffs)
+	geo.apply(&opts)
+	db, err := engine.Open(opts)
+	if err != nil {
+		return fmt.Errorf("torture seed %d: initial open: %w", cfg.Seed, err)
+	}
+
+	// Seeded fault rules, armed only after the clean open. Errors they
+	// surface through Apply/Flush end the workload early; the
+	// background-error latch must then keep the engine honest.
+	if rng.Float64() < 0.25 {
+		ffs.AddRule(faultfs.Rule{
+			Ops: []faultfs.Op{faultfs.OpSync}, Path: "*.log",
+			After: rng.Int63n(40), Count: 1,
+		})
+		cfg.Logf("fault: one WAL sync failure armed")
+	}
+	if rng.Float64() < 0.15 {
+		ffs.AddRule(faultfs.Rule{
+			Ops: []faultfs.Op{faultfs.OpCreate}, Path: "*.sst",
+			Prob: 0.1, Count: 2,
+		})
+		cfg.Logf("fault: transient SST create failures armed")
+	}
+	if rng.Float64() < 0.10 {
+		ffs.AddRule(faultfs.Rule{
+			Ops: []faultfs.Op{faultfs.OpSync}, Path: "MANIFEST-*",
+			After: rng.Int63n(8), Count: 1,
+		})
+		cfg.Logf("fault: one MANIFEST sync failure armed")
+	}
+	if rng.Float64() < 0.15 {
+		ffs.AddRule(faultfs.Rule{
+			Ops: []faultfs.Op{faultfs.OpWrite, faultfs.OpSync},
+			Prob: 0.05, Count: 20,
+			Fault: faultfs.Fault{Latency: 200 * time.Microsecond},
+		})
+		cfg.Logf("fault: write/sync latency armed")
+	}
+
+	// Crash at a random filesystem-operation boundary somewhere inside
+	// the workload.
+	ffs.ArmCrash(50 + rng.Int63n(3000))
+
+	// --------------------------------------------------------------
+	// Phase 1: seeded workload against the live oracle.
+
+	key := func() string { return fmt.Sprintf("k%03d", rng.Intn(cfg.Keys)) }
+	ops := make([]op, 0, cfg.Ops)
+	live := map[string]string{} // oracle of acknowledged state
+	lastAcked := -1             // highest op with an acked pre-crash sync
+	maxPossible := -1           // last op submitted before the crash froze
+	var stopErr error
+	postCrash := 0
+
+	for i := 0; i < cfg.Ops; i++ {
+		var b batch.Batch
+		o := op{sync: rng.Float64() < 0.25}
+		b.Put([]byte(cutKey), []byte(strconv.Itoa(i)))
+		nmut := 1 + rng.Intn(4)
+		for m := 0; m < nmut; m++ {
+			k := key()
+			if rng.Float64() < 0.2 {
+				b.Delete([]byte(k))
+				o.muts = append(o.muts, mut{key: k, del: true})
+			} else {
+				v := fmt.Sprintf("v%06d-%s-%04d", i, k, rng.Intn(10000))
+				b.Put([]byte(k), []byte(v))
+				o.muts = append(o.muts, mut{key: k, val: v})
+			}
+		}
+		ops = append(ops, o)
+
+		// An op can reach the crash image only if the snapshot was not
+		// yet frozen when its Apply began — even one whose Apply then
+		// fails (e.g. a failed sync after the record hit the file).
+		if !ffs.Crashed() {
+			maxPossible = i
+		}
+		err := db.Apply(&b, o.sync)
+		if err != nil {
+			// First engine-visible failure: stop submitting. The op's
+			// fate is resolved by the recovered cut marker.
+			stopErr = err
+			break
+		}
+		for _, m := range o.muts {
+			if m.del {
+				delete(live, m.key)
+			} else {
+				live[m.key] = m.val
+			}
+		}
+		if o.sync && !ffs.Crashed() {
+			// Conservative: only count the ack if the crash snapshot
+			// was not yet frozen when the sync returned.
+			lastAcked = i
+		}
+
+		// Live spot checks against the oracle.
+		if rng.Float64() < 0.02 {
+			k := key()
+			v, gerr := db.Get([]byte(k))
+			want, ok := live[k]
+			switch {
+			case !ok && !errors.Is(gerr, engine.ErrNotFound):
+				return violation(cfg, "live", "Get(%q) pre-crash = (%q, %v), want ErrNotFound", k, v, gerr)
+			case ok && gerr != nil:
+				return violation(cfg, "live", "Get(%q) pre-crash failed: %v", k, gerr)
+			case ok && string(v) != want:
+				return violation(cfg, "live", "Get(%q) pre-crash = %q, want %q", k, v, want)
+			}
+		}
+		if rng.Float64() < 0.01 {
+			if ferr := db.Flush(); ferr != nil {
+				stopErr = ferr
+				break
+			}
+		}
+		if ffs.Crashed() {
+			postCrash++
+			if postCrash > cfg.PostCrashOps {
+				break
+			}
+		}
+	}
+
+	// The crash may never have triggered (short runs, early faults):
+	// take the snapshot at the current boundary instead.
+	snap := ffs.ForceCrash()
+	submitted := len(ops)
+	if stopErr != nil {
+		cfg.Logf("workload stopped at op %d/%d: %v", submitted, cfg.Ops, stopErr)
+	}
+	_ = db.Close() // may fail under latched background errors; the disk image is the snapshot
+
+	// --------------------------------------------------------------
+	// Phase 2: materialize the crash image and recover.
+
+	modes := []struct {
+		name string
+		opts faultfs.CrashOpts
+	}{
+		{"clean", faultfs.CrashOpts{}},
+		{"partial-sync", faultfs.CrashOpts{KeepUnsynced: true}},
+		{"torn", faultfs.CrashOpts{KeepUnsynced: true, Torn: true}},
+	}
+	mode := modes[rng.Intn(len(modes))]
+	dev2 := storage.New(clock.Real{}, storage.Null())
+	img, err := snap.Materialize(dev2, rng, mode.opts)
+	if err != nil {
+		return fmt.Errorf("torture seed %d: materialize %s: %w", cfg.Seed, mode.name, err)
+	}
+
+	opts2 := engine.DefaultOptions(img)
+	geo.apply(&opts2)
+	db2, err := engine.Open(opts2)
+	if err != nil {
+		return violation(cfg, mode.name, "recovery failed: %v", err)
+	}
+
+	// --------------------------------------------------------------
+	// Phase 3: determine the surviving prefix and verify it exactly.
+
+	c := -1
+	if cutVal, gerr := db2.Get([]byte(cutKey)); gerr == nil {
+		c, err = strconv.Atoi(string(cutVal))
+		if err != nil {
+			return violation(cfg, mode.name, "cut marker corrupted: %q", cutVal)
+		}
+	} else if !errors.Is(gerr, engine.ErrNotFound) {
+		return violation(cfg, mode.name, "reading cut marker: %v", gerr)
+	}
+	cfg.Logf("mode=%s submitted=%d cut=%d lastAcked=%d maxPossible=%d",
+		mode.name, submitted, c, lastAcked, maxPossible)
+
+	if c < lastAcked {
+		return violation(cfg, mode.name,
+			"acknowledged-synced data lost: recovered prefix ends at op %d, op %d was synced and acked\n%s",
+			c, lastAcked, db2.DebugLayout())
+	}
+	if c > maxPossible {
+		return violation(cfg, mode.name,
+			"phantom future data: recovered prefix ends at op %d, last op possibly in the image is %d",
+			c, maxPossible)
+	}
+
+	// Replay the oracle over the surviving prefix.
+	model := map[string]string{}
+	for i := 0; i <= c; i++ {
+		model[cutKey] = strconv.Itoa(i)
+		for _, m := range ops[i].muts {
+			if m.del {
+				delete(model, m.key)
+			} else {
+				model[m.key] = m.val
+			}
+		}
+	}
+	if err := verify(cfg, mode.name, db2, model, rng, cfg.Keys); err != nil {
+		return err
+	}
+
+	// --------------------------------------------------------------
+	// Phase 4: the recovered DB must make durable progress that
+	// survives yet another reopen (MANIFEST roll-forward, WAL reuse).
+
+	for i := 0; i < cfg.PostRecoveryOps; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(cfg.Keys))
+		v := fmt.Sprintf("post-recovery-%d-%d", cfg.Seed, i)
+		var b batch.Batch
+		b.Put([]byte(k), []byte(v))
+		if err := db2.Apply(&b, true); err != nil {
+			return violation(cfg, mode.name, "recovered DB rejected write %d: %v", i, err)
+		}
+		model[k] = v
+	}
+	if err := db2.Flush(); err != nil {
+		return violation(cfg, mode.name, "recovered DB flush failed: %v", err)
+	}
+	if err := verify(cfg, mode.name, db2, model, rng, cfg.Keys); err != nil {
+		return err
+	}
+	if err := db2.Close(); err != nil {
+		return violation(cfg, mode.name, "recovered DB close failed: %v", err)
+	}
+
+	db3, err := engine.Open(opts2)
+	if err != nil {
+		return violation(cfg, mode.name, "second recovery failed: %v", err)
+	}
+	if err := verify(cfg, mode.name, db3, model, rng, cfg.Keys); err != nil {
+		return fmt.Errorf("%w (after second reopen)", err)
+	}
+	if err := db3.Close(); err != nil {
+		return violation(cfg, mode.name, "final close failed: %v", err)
+	}
+	return nil
+}
+
+// verify checks the DB's keyspace equals the model exactly: point
+// reads, absent keys, and a full ordered scan.
+func verify(cfg Config, mode string, db *engine.DB, model map[string]string, rng *rand.Rand, keys int) error {
+	for k, want := range model {
+		v, err := db.Get([]byte(k))
+		if err != nil {
+			return violation(cfg, mode, "Get(%q) = %v, want %q\n%s", k, err, want, db.DebugLayout())
+		}
+		if string(v) != want {
+			return violation(cfg, mode, "Get(%q) = %q, want %q", k, v, want)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(keys))
+		if _, ok := model[k]; ok {
+			continue
+		}
+		if v, err := db.Get([]byte(k)); !errors.Is(err, engine.ErrNotFound) {
+			return violation(cfg, mode, "phantom key %q = (%q, %v), want ErrNotFound", k, v, err)
+		}
+	}
+	if v, err := db.Get([]byte("never-written")); !errors.Is(err, engine.ErrNotFound) {
+		return violation(cfg, mode, "phantom key %q = (%q, %v)", "never-written", v, err)
+	}
+
+	it, err := db.NewIter()
+	if err != nil {
+		return violation(cfg, mode, "NewIter: %v", err)
+	}
+	defer it.Close()
+	seen := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		k := string(it.Key())
+		want, ok := model[k]
+		if !ok {
+			return violation(cfg, mode, "scan found phantom key %q", k)
+		}
+		if string(it.Value()) != want {
+			return violation(cfg, mode, "scan value for %q = %q, want %q", k, it.Value(), want)
+		}
+		seen++
+	}
+	if err := it.Error(); err != nil {
+		return violation(cfg, mode, "scan error: %v", err)
+	}
+	if seen != len(model) {
+		return violation(cfg, mode, "scan saw %d keys, model has %d", seen, len(model))
+	}
+	return nil
+}
