@@ -20,13 +20,16 @@ tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
 
 # Tier-3: crash-consistency and robustness. Runs the seeded torture
-# harness (random workload + fault injection + crash at a random
-# fs-op boundary + reopen + durability-contract verification; failing
-# seeds are printed and reproducible with `go run ./cmd/torture -seed N`)
-# and a bounded run of every native fuzz target over the committed
-# corpora (regenerate with `go run ./cmd/genfuzzcorpus`).
+# harness in both modes — crash (random workload + fault injection +
+# crash at a random fs-op boundary + reopen + durability-contract
+# verification) and transient (faults heal; the engine must auto-
+# recover on the same handle with zero acked-write loss). Failing
+# seeds are printed and reproducible with `go run ./cmd/torture
+# -seed N [-transient]`. Also runs a bounded pass of every native
+# fuzz target over the committed corpora (regenerate with
+# `go run ./cmd/genfuzzcorpus`).
 tier3:
-	$(GO) test ./internal/engine -run TestTortureCrashRecovery -count=1 \
+	$(GO) test ./internal/engine -run 'TestTorture(CrashRecovery|TransientRecovery)' -count=1 \
 		-args -torture.iters=$(TORTURE_ITERS)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReadRecord$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWriterReaderRoundTrip$$' -fuzztime $(FUZZTIME)

@@ -7,6 +7,7 @@
 //	dbbench -device xpoint -threads 8 -write_ratio 0.5 -duration 10s
 //	dbbench -device sata -benchmarks fillrandom -num 50000
 //	dbbench -path /tmp/bench -threads 4 -duration 5s   # real disk
+//	dbbench -device xpoint -faultprob 0.001 -faultheal 2s  # recovery under load
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"xpointdb/internal/costmodel"
 	"xpointdb/internal/engine"
 	"xpointdb/internal/events"
+	"xpointdb/internal/faultfs"
 	"xpointdb/internal/sim"
 	"xpointdb/internal/storage"
 	"xpointdb/internal/throttle"
@@ -48,8 +50,14 @@ func main() {
 		statsIntv  = flag.Duration("statsinterval", 0, "periodic stats dump interval in engine-clock time (0 disables); dumps go to stderr")
 		eventLog   = flag.String("eventlog", "", "write the structured engine event stream (JSON lines) to this file")
 		perf       = flag.Bool("perf", false, "collect per-operation stage timings (PerfContext histograms)")
+		faultProb  = flag.Float64("faultprob", 0, "inject WAL sync failures with this probability (simulated device only); exercises error recovery under load")
+		faultHeal  = flag.Duration("faultheal", 0, "heal the injected fault this long (engine-clock time) after it first matches (0 = faults persist for the whole run)")
 	)
 	flag.Parse()
+
+	if *faultProb > 0 && *path != "" {
+		log.Fatalf("-faultprob requires the simulated device path (fault injection wraps the in-memory filesystem, not a real directory)")
+	}
 
 	var evLog *events.EventLog
 	if *eventLog != "" {
@@ -104,7 +112,17 @@ func main() {
 	}
 	k := sim.New(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
 	dev := storage.New(k, prof)
-	fs := vfs.NewMem(dev)
+	var fs vfs.FS = vfs.NewMem(dev)
+	var ffs *faultfs.FS
+	if *faultProb > 0 {
+		var err error
+		ffs, err = faultfs.New(fs, *seed)
+		if err != nil {
+			log.Fatalf("faultfs: %v", err)
+		}
+		ffs.SetClock(k)
+		fs = ffs
+	}
 	opts := engine.DefaultOptions(fs)
 	opts.Clock = k
 	opts.CostModel = costmodel.Default()
@@ -124,13 +142,29 @@ func main() {
 	var res *workload.Result
 	var m *engine.Metrics
 	var finalStats string
+	var health engine.Health
 	k.Run(func() {
 		db, err := engine.Open(opts)
 		if err != nil {
 			log.Fatalf("open: %v", err)
 		}
-		res = runBenchmark(k, db, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed)
+		armFaults := func() {}
+		if ffs != nil {
+			// Armed only after open and preload: the benchmark
+			// measures recovery under load, not a DB that cannot
+			// start or fill.
+			armFaults = func() {
+				ffs.AddRule(faultfs.Rule{
+					Ops:       []faultfs.Op{faultfs.OpSync},
+					Path:      "*.log",
+					Prob:      *faultProb,
+					HealAfter: *faultHeal,
+				})
+			}
+		}
+		res = runBenchmark(k, db, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, armFaults)
 		m = db.Metrics()
+		health = db.Health()
 		if *stats {
 			finalStats = db.StatsReport()
 		}
@@ -141,6 +175,10 @@ func main() {
 
 	fmt.Printf("benchmark      : %s on %s (simulated, virtual time)\n", *benchmarks, prof.Name)
 	printResult(res, m)
+	if ffs != nil {
+		fmt.Printf("fault injection: WAL sync prob %.3g heal %v; %d faults injected; final health %v\n",
+			*faultProb, *faultHeal, ffs.InjectedCount(), health)
+	}
 	if finalStats != "" {
 		fmt.Print(finalStats)
 	}
@@ -162,7 +200,7 @@ func runReal(path string, tweak func(*engine.Options), bench string, threads int
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
-	res := runBenchmark(clock.Real{}, db, bench, threads, duration, num, valueSize, writeRatio, seed)
+	res := runBenchmark(clock.Real{}, db, bench, threads, duration, num, valueSize, writeRatio, seed, func() {})
 	m := db.Metrics()
 	var finalStats string
 	if stats {
@@ -178,7 +216,7 @@ func runReal(path string, tweak func(*engine.Options), bench string, threads int
 	}
 }
 
-func runBenchmark(clk clock.Clock, db *engine.DB, bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64) *workload.Result {
+func runBenchmark(clk clock.Clock, db *engine.DB, bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64, armFaults func()) *workload.Result {
 	cfg := workload.Config{
 		Workers:   threads,
 		Duration:  duration,
@@ -202,6 +240,7 @@ func runBenchmark(clk clock.Clock, db *engine.DB, bench string, threads int, dur
 	default:
 		log.Fatalf("unknown -benchmarks %q", bench)
 	}
+	armFaults()
 	return workload.Run(clk, db, cfg)
 }
 
@@ -222,6 +261,11 @@ func printResult(res *workload.Result, m *engine.Metrics) {
 		time.Duration(m.StallStopTotal.Load()).Round(time.Microsecond),
 		m.StallStops.Load())
 	fmt.Printf("waiting writers: mean %.2f, max %d\n", m.WaitingWriters.Mean(), m.WaitingWriters.Max())
+	if m.SoftErrors.Load()+m.HardErrors.Load()+m.RecoveryAttempts.Load() > 0 {
+		fmt.Printf("bg errors      : %d soft, %d hard; recovery %d attempts, %d recovered, %d gave up\n",
+			m.SoftErrors.Load(), m.HardErrors.Load(), m.RecoveryAttempts.Load(),
+			m.RecoverySuccesses.Load(), m.RecoveryGiveups.Load())
+	}
 	fmt.Printf("read path      : mem %d, imm %d, L0 %d, deep %d, miss %d; L0 probes %d, bloom skips %d\n",
 		m.GetHitMemtable.Load(), m.GetHitImmutable.Load(), m.GetHitL0.Load(),
 		m.GetHitDeep.Load(), m.GetMisses.Load(), m.L0TablesProbed.Load(), m.BloomSkips.Load())

@@ -22,8 +22,10 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", 1, "base seed; iteration i runs with seed+i")
 		iters   = flag.Int("iters", 1, "number of seeded iterations")
-		ops     = flag.Int("ops", 0, "workload ops per iteration (0 = default)")
-		keys    = flag.Int("keys", 0, "key-universe size (0 = default)")
+		ops       = flag.Int("ops", 0, "workload ops per iteration (0 = default)")
+		keys      = flag.Int("keys", 0, "key-universe size (0 = default)")
+		transient = flag.Bool("transient", false,
+			"transient-fault mode: faults heal and the engine must auto-recover on the same handle (no crash/reopen)")
 		verbose = flag.Bool("v", false, "log per-iteration progress")
 	)
 	flag.Parse()
@@ -32,7 +34,7 @@ func main() {
 	failed := 0
 	for i := 0; i < *iters; i++ {
 		s := *seed + int64(i)
-		cfg := torture.Config{Seed: s, Ops: *ops, Keys: *keys}
+		cfg := torture.Config{Seed: s, Ops: *ops, Keys: *keys, Transient: *transient}
 		if *verbose {
 			cfg.Logf = func(format string, args ...interface{}) {
 				log.Printf("  seed %d: "+format, append([]interface{}{s}, args...)...)
@@ -41,7 +43,11 @@ func main() {
 		if err := torture.Run(cfg); err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "FAIL: %v\n", err)
-			fmt.Fprintf(os.Stderr, "reproduce with: go run ./cmd/torture -seed %d\n", s)
+			repro := fmt.Sprintf("go run ./cmd/torture -seed %d", s)
+			if *transient {
+				repro += " -transient"
+			}
+			fmt.Fprintf(os.Stderr, "reproduce with: %s\n", repro)
 		} else if *verbose {
 			log.Printf("seed %d: ok", s)
 		}

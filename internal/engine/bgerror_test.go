@@ -25,6 +25,9 @@ func newFaultTestDB(t *testing.T, tweak func(*Options)) (*DB, *faultfs.FS) {
 	opts.MemtableSize = 64 << 10
 	opts.ThrottleMode = throttle.ModeNone
 	opts.SyncWAL = true
+	// Most latch tests assert that the error STAYS latched; recovery
+	// tests opt back in via tweak.
+	opts.DisableAutoRecovery = true
 	if tweak != nil {
 		tweak(&opts)
 	}

@@ -111,6 +111,10 @@ func (db *DB) compactWorker() {
 				if c = db.pickCompactionLocked(); c != nil {
 					break
 				}
+				// The tree no longer wants a compaction: a soft-error
+				// note from a failed attempt is stale — there is
+				// nothing left to retry.
+				db.clearSoftErrorLocked(opCompaction)
 			}
 			db.bgCond.Wait()
 		}
@@ -138,11 +142,19 @@ func (db *DB) compactWorker() {
 		db.compacting = false
 		if err != nil {
 			db.opts.logf("compaction L%d→L%d failed: %v", c.level, c.outputLevel, err)
+			if db.bgErr == nil {
+				// Inputs are still live and the pick retries: a soft
+				// error. (Manifest failures latch inside commitEdit.)
+				db.noteSoftErrorLocked(opCompaction, err)
+			}
+			// Wake anyone quiescing on db.compacting (error recovery).
+			db.bgCond.Broadcast()
 			// Timed backoff; see flushWorker for the livelock note.
 			db.mu.Unlock()
 			db.clk.Sleep(flushRetryBackoff)
 			db.mu.Lock()
 		} else {
+			db.clearSoftErrorLocked(opCompaction)
 			db.metrics.Compactions.Add(1)
 			db.bgCond.Broadcast()
 		}

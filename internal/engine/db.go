@@ -73,6 +73,10 @@ type DB struct {
 
 	mu     clock.Mutex
 	bgCond clock.Cond // broadcast on any background state change
+	// recoveryCond wakes only the recovery worker (latch set, Resume
+	// finished, close). A dedicated cond keeps the idle worker out of
+	// the hot-path bgCond broadcast storm.
+	recoveryCond clock.Cond
 
 	mem  *memtable.Memtable
 	imms []flushedMem
@@ -96,9 +100,24 @@ type DB struct {
 	compactCursor [manifest.NumLevels]int
 	stallState    throttle.State
 	closed        bool
-	bgErr         error // latched background error (nil = healthy)
 	liveWorkers   int
 	memBudget     int64 // current memtable size target (adaptive L0)
+
+	// Error-handler state (errorhandler.go, recovery.go). bgErr is the
+	// latched background error (nil = healthy); once latched it is
+	// always a *BackgroundError and bgSeverity mirrors its severity.
+	// softErrs holds soft failures currently retrying in place, by op.
+	// recovering is true while an automatic or manual recovery attempt
+	// runs (Close waits on it); recoveryGaveUp means the automatic
+	// budget is exhausted — the latch stays recoverable via Resume.
+	bgErr          error
+	bgSeverity     Severity
+	softErrs       map[string]error
+	recovering     bool
+	recoveryGaveUp bool
+	// sweeps counts in-flight deleteObsoleteFiles calls; recovery
+	// quiesces on it before mutating version-set state outside db.mu.
+	sweeps int
 
 	// pendingOutputs tracks SST file numbers that exist (or are
 	// being written) but are not yet committed to a version, so the
@@ -153,6 +172,7 @@ func Open(opts Options) (*DB, error) {
 	db.controller = throttle.New(clk, tcfg)
 	db.mu = clk.NewMutex()
 	db.bgCond = clk.NewCond(db.mu)
+	db.recoveryCond = clk.NewCond(db.mu)
 
 	if err := db.openOrRecover(); err != nil {
 		return nil, err
@@ -174,6 +194,12 @@ func Open(opts Options) (*DB, error) {
 		db.liveWorkers++
 		db.mu.Unlock()
 		clk.Go("stats-worker", db.statsWorker)
+	}
+	if !opts.DisableAutoRecovery {
+		db.mu.Lock()
+		db.liveWorkers++
+		db.mu.Unlock()
+		clk.Go("recovery-worker", db.recoveryWorker)
 	}
 
 	db.mu.Lock()
@@ -302,7 +328,11 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.bgCond.Broadcast()
-	for db.liveWorkers > 0 {
+	db.recoveryCond.Broadcast()
+	// Wait for the counted workers AND any in-flight recovery attempt:
+	// a manual Resume runs outside liveWorkers but still swaps WAL and
+	// manifest handles that the teardown below is about to close.
+	for db.liveWorkers > 0 || db.recovering {
 		db.bgCond.Wait()
 	}
 	bg := db.bgErr
@@ -333,22 +363,6 @@ func (db *DB) BackgroundError() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.bgErr
-}
-
-// setBackgroundErrorLocked latches err (first one wins) as the DB's
-// background error: all subsequent writes fail fast with a wrapped
-// ErrBackground. op names the failing path (wal-sync, wal-append,
-// wal-rotate-sync, manifest-append, manifest-install). Callers hold
-// db.mu.
-func (db *DB) setBackgroundErrorLocked(op string, err error) {
-	if db.bgErr != nil || err == nil {
-		return
-	}
-	db.bgErr = fmt.Errorf("%w: %s: %v", ErrBackground, op, err)
-	db.opts.logf("background error latched (%s): %v", op, err)
-	db.emitBackgroundError(op, err)
-	// Wake writers and workers so they observe the latch.
-	db.bgCond.Broadcast()
 }
 
 // Metrics returns the engine's live instrumentation.
@@ -435,6 +449,18 @@ func (db *DB) updateStallStateLocked() {
 // listing too, so it cannot appear in it; any file being written is
 // protected by pendingOutputs.
 func (db *DB) deleteObsoleteFiles() {
+	db.mu.Lock()
+	db.sweeps++
+	db.mu.Unlock()
+	defer func() {
+		db.mu.Lock()
+		db.sweeps--
+		if db.recovering {
+			db.bgCond.Broadcast() // recovery is quiescing on sweeps
+		}
+		db.mu.Unlock()
+	}()
+
 	names, err := db.fs.List()
 	if err != nil {
 		return

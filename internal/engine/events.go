@@ -133,14 +133,12 @@ func (db *DB) emitWALSync(walNum uint64, bytes int64, d time.Duration, err error
 	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: events.KindWALSync, WALSync: ws})
 }
 
-// emitBackgroundError records the moment a background error latched.
-func (db *DB) emitBackgroundError(op string, err error) {
+// emitRecovery records one recovery lifecycle moment (begin, attempt,
+// success, giveup); see errorhandler.go/recovery.go for the emitters'
+// call sites.
+func (db *DB) emitRecovery(kind events.Kind, rec *events.Recovery) {
 	if db.ev == nil {
 		return
 	}
-	db.ev.Emit(events.Event{
-		TS:      db.clk.Now(),
-		Kind:    events.KindBackgroundError,
-		BGError: &events.BGError{Op: op, Error: err.Error()},
-	})
+	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: kind, Recovery: rec})
 }

@@ -18,6 +18,12 @@ func (db *DB) flushWorker() {
 		// Idle while a background error is latched: retrying a flush
 		// against a failed MANIFEST or WAL only multiplies damage.
 		for !db.closed && (len(db.imms) == 0 || db.bgErr != nil) {
+			if len(db.imms) == 0 {
+				// Nothing left to retry: a soft-error note from a
+				// failed attempt is stale (error recovery may have
+				// drained the queue itself while this worker idled).
+				db.clearSoftErrorLocked(opFlush)
+			}
 			db.bgCond.Wait()
 		}
 		if db.closed {
@@ -61,6 +67,15 @@ func (db *DB) flushWorker() {
 		l0Files := db.vs.Current().NumFiles(0)
 		if err != nil {
 			db.opts.logf("flush failed: %v", err)
+			if db.bgErr == nil {
+				// The SST build failed but WAL and MANIFEST are fine:
+				// a soft error — the immutable stays queued and the
+				// retry below usually heals it. (Manifest failures
+				// latched inside commitEdit; don't double-classify.)
+				db.noteSoftErrorLocked(opFlush, err)
+			}
+			// Wake anyone quiescing on db.flushing (error recovery).
+			db.bgCond.Broadcast()
 			db.mu.Unlock()
 			db.emitFlushEnd(fm.reason, fm.walNum, num, 0, l0Files,
 				db.clk.Now().Sub(flushStart), err)
@@ -70,6 +85,7 @@ func (db *DB) flushWorker() {
 			// each would wait for the other's signal.)
 			db.clk.Sleep(flushRetryBackoff)
 		} else {
+			db.clearSoftErrorLocked(opFlush)
 			db.imms = db.imms[1:]
 			db.metrics.Flushes.Add(1)
 			db.metrics.FlushBytes.Add(meta.Size)
@@ -162,11 +178,21 @@ func (db *DB) buildTable(num uint64, src iterator.Iterator) (*manifest.FileMeta,
 // commitEdit durably applies a version edit: manifest I/O outside
 // db.mu, serialized by manifestBusy. Called without db.mu.
 func (db *DB) commitEdit(edit *manifest.Edit) error {
+	return db.commitEditWith(edit, false)
+}
+
+// commitEditWith is commitEdit with a recovery bypass: the recovery
+// worker must commit edits (re-flushed memtables) while the latch is
+// still set, so recovery=true skips the fail-fast check and, on append
+// failure, re-latches under the manifest classification instead — the
+// torn tail has moved to the MANIFEST, so the next recovery attempt
+// must roll it before anything else.
+func (db *DB) commitEditWith(edit *manifest.Edit, recovery bool) error {
 	db.mu.Lock()
-	for db.manifestBusy && db.bgErr == nil {
+	for db.manifestBusy && (recovery || db.bgErr == nil) {
 		db.bgCond.Wait()
 	}
-	if db.bgErr != nil {
+	if !recovery && db.bgErr != nil {
 		err := db.bgErr
 		db.mu.Unlock()
 		return err
@@ -183,13 +209,17 @@ func (db *DB) commitEdit(edit *manifest.Edit) error {
 		// A failed MANIFEST append (write or sync) may leave a torn
 		// edit at the log's tail; appending more edits after it would
 		// put them beyond a corruption that ends recovery replay.
-		// Latch: the version state on disk is frozen until reopen.
-		db.setBackgroundErrorLocked("manifest-append", err)
+		// Latch: the version state on disk is frozen until recovered.
+		if recovery {
+			db.relatchLocked(opManifestAppend, err)
+		} else {
+			db.setBackgroundErrorLocked(opManifestAppend, err)
+		}
 	} else {
 		if err = db.vs.Install(edit); err != nil {
 			// In-memory apply failed after the durable append — the
 			// disk and memory states have diverged.
-			db.setBackgroundErrorLocked("manifest-install", err)
+			db.setBackgroundErrorLocked(opManifestInstall, err)
 		}
 	}
 	db.updateStallStateLocked()

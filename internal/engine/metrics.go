@@ -56,6 +56,17 @@ type Metrics struct {
 	WALSyncs     atomic.Int64
 	WALSyncBytes atomic.Int64
 
+	// Error-handler accounting (errorhandler.go, recovery.go).
+	// SoftErrors counts soft-error episodes (retrying in place);
+	// HardErrors counts latch events. RecoveryAttempts counts every
+	// automatic or manual recovery try; successes clear the latch,
+	// giveups exhaust the automatic budget.
+	SoftErrors        atomic.Int64
+	HardErrors        atomic.Int64
+	RecoveryAttempts  atomic.Int64
+	RecoverySuccesses atomic.Int64
+	RecoveryGiveups   atomic.Int64
+
 	// Per-stage latency histograms, populated from PerfContext when
 	// Options.CollectPerf is on (or a caller passes a context in).
 	// Only operations that exercised a stage are recorded in that

@@ -124,6 +124,23 @@ type Options struct {
 	// timing adds a few clock reads per operation.
 	CollectPerf bool
 
+	// DisableAutoRecovery turns off the background recovery worker:
+	// hard background errors stay latched until a manual Resume (or a
+	// reopen), matching the pre-recovery engine. Soft-error in-place
+	// retries are unaffected.
+	DisableAutoRecovery bool
+	// RecoveryBaseBackoff is the delay before the second automatic
+	// recovery attempt; each further attempt doubles it up to
+	// RecoveryMaxBackoff (default 5ms).
+	RecoveryBaseBackoff time.Duration
+	// RecoveryMaxBackoff caps the exponential recovery backoff
+	// (default 500ms).
+	RecoveryMaxBackoff time.Duration
+	// MaxRecoveryAttempts bounds automatic recovery attempts per
+	// latched error; past it the worker gives up (the error stays
+	// clearable via Resume). Default 12.
+	MaxRecoveryAttempts int
+
 	// StatsDumpInterval, when positive, starts a background worker
 	// that writes DB.StatsReport to StatsWriter (or the Logger) every
 	// interval of engine-clock time — RocksDB's periodic stats dump.
@@ -141,6 +158,9 @@ type Options struct {
 func DefaultOptions(fs vfs.FS) Options {
 	return Options{
 		FS:                  fs,
+		RecoveryBaseBackoff: 5 * time.Millisecond,
+		RecoveryMaxBackoff:  500 * time.Millisecond,
+		MaxRecoveryAttempts: 12,
 		MemtableSize:        4 << 20,
 		MaxImmutables:       1,
 		L0CompactionTrigger: 4,
@@ -222,6 +242,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AdaptiveWriteIntensive <= 0 {
 		o.AdaptiveWriteIntensive = d.AdaptiveWriteIntensive
+	}
+	if o.RecoveryBaseBackoff <= 0 {
+		o.RecoveryBaseBackoff = d.RecoveryBaseBackoff
+	}
+	if o.RecoveryMaxBackoff <= 0 {
+		o.RecoveryMaxBackoff = d.RecoveryMaxBackoff
+	}
+	if o.RecoveryMaxBackoff < o.RecoveryBaseBackoff {
+		o.RecoveryMaxBackoff = o.RecoveryBaseBackoff
+	}
+	if o.MaxRecoveryAttempts <= 0 {
+		o.MaxRecoveryAttempts = d.MaxRecoveryAttempts
 	}
 	return o
 }

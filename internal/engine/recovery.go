@@ -1,0 +1,401 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xpointdb/internal/events"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/memtable"
+	"xpointdb/internal/wal"
+)
+
+// Automatic background-error recovery (RocksDB's ErrorHandler
+// auto-resume). A hard-severity latch names a single damaged resource
+// — a poisoned WAL or a MANIFEST with a possibly-torn tail — and both
+// have a repair that needs no reopen: swap in a fresh WAL, or roll to
+// a fresh MANIFEST holding a full snapshot. Either way the repair must
+// end by draining every queued immutable memtable to Level 0 BEFORE
+// the latch clears: acked writes covered by an abandoned log exist
+// only in memory, and if new writes could be synced-acked in the fresh
+// log first, a crash could persist a suffix of the acked history while
+// losing its prefix.
+//
+// The recovery worker re-tries the repair with exponential backoff up
+// to Options.MaxRecoveryAttempts, then gives up and leaves the latch
+// to a manual Resume. All attempts — automatic and manual — run under
+// db.recovering, which excludes concurrent attempts and is waited on
+// by Close.
+
+// recoveryQuantum bounds each slice of a recovery backoff sleep so a
+// concurrent Close is noticed promptly (clock.Cond has no timed wait;
+// statsQuantum uses the same pattern).
+const recoveryQuantum = 5 * time.Millisecond
+
+// needsRecoveryLocked reports whether an automatic attempt should
+// start: a hard (retryable) error is latched, the automatic budget is
+// not exhausted, and no attempt is already in flight. Callers hold
+// db.mu.
+func (db *DB) needsRecoveryLocked() bool {
+	return db.bgErr != nil && db.bgSeverity == SeverityHard &&
+		!db.recoveryGaveUp && !db.recovering
+}
+
+// recoveryWorker is the background auto-resume process, started by
+// Open unless Options.DisableAutoRecovery.
+func (db *DB) recoveryWorker() {
+	db.mu.Lock()
+	for {
+		for !db.closed && !db.needsRecoveryLocked() {
+			db.recoveryCond.Wait()
+		}
+		if db.closed {
+			break
+		}
+		be := db.bgErr.(*BackgroundError)
+		db.recovering = true
+		db.mu.Unlock()
+
+		db.emitRecovery(events.KindRecoveryBegin, &events.Recovery{
+			Op: be.Op, Severity: be.Severity.String(),
+		})
+		db.runRecoveryLoop()
+
+		db.mu.Lock()
+		db.recovering = false
+		db.bgCond.Broadcast()
+	}
+	db.liveWorkers--
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+}
+
+// runRecoveryLoop drives automatic attempts for the latched error
+// until it clears, the budget is exhausted, the severity escalates
+// beyond repair, or the DB closes. Called with db.recovering set and
+// db.mu not held.
+func (db *DB) runRecoveryLoop() {
+	backoff := db.opts.RecoveryBaseBackoff
+	for attempt := 1; ; attempt++ {
+		db.mu.Lock()
+		if db.closed || db.bgErr == nil {
+			db.mu.Unlock()
+			return
+		}
+		be, ok := db.bgErr.(*BackgroundError)
+		if !ok || be.Severity != SeverityHard {
+			// Escalated mid-recovery (e.g. manifest-install): no
+			// repair applies anymore.
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Unlock()
+
+		db.metrics.RecoveryAttempts.Add(1)
+		db.emitRecovery(events.KindRecoveryAttempt, &events.Recovery{
+			Op: be.Op, Severity: be.Severity.String(), Attempt: attempt,
+		})
+		err := db.recoverOnce(be)
+		if err == nil {
+			db.metrics.RecoverySuccesses.Add(1)
+			db.opts.logf("background error recovered (%s) after %d attempt(s)", be.Op, attempt)
+			db.emitRecovery(events.KindRecoverySuccess, &events.Recovery{
+				Op: be.Op, Attempt: attempt, Health: db.Health().String(),
+			})
+			return
+		}
+		if errors.Is(err, ErrClosed) {
+			return
+		}
+		db.opts.logf("recovery attempt %d (%s) failed: %v", attempt, be.Op, err)
+		if attempt >= db.opts.MaxRecoveryAttempts {
+			db.metrics.RecoveryGiveups.Add(1)
+			db.mu.Lock()
+			db.recoveryGaveUp = true
+			db.mu.Unlock()
+			db.opts.logf("automatic recovery gave up after %d attempts (%s); Resume() can retry", attempt, be.Op)
+			db.emitRecovery(events.KindRecoveryGiveup, &events.Recovery{
+				Op: be.Op, Attempt: attempt, Error: err.Error(),
+			})
+			return
+		}
+		if db.sleepRecoveryBackoff(backoff) {
+			return
+		}
+		backoff *= 2
+		if backoff > db.opts.RecoveryMaxBackoff {
+			backoff = db.opts.RecoveryMaxBackoff
+		}
+	}
+}
+
+// sleepRecoveryBackoff sleeps d in recoveryQuantum slices, returning
+// true early if the DB closed (a plain Sleep could stall Close by a
+// full backoff).
+func (db *DB) sleepRecoveryBackoff(d time.Duration) bool {
+	for d > 0 {
+		db.mu.Lock()
+		closed := db.closed
+		db.mu.Unlock()
+		if closed {
+			return true
+		}
+		step := d
+		if step > recoveryQuantum {
+			step = recoveryQuantum
+		}
+		db.clk.Sleep(step)
+		d -= step
+	}
+	return false
+}
+
+// recoverOnce executes one repair attempt for the latched error and,
+// on success, clears the latch so writers resume. The caller holds
+// db.recovering, so no second attempt runs concurrently; writers fail
+// fast and the flush/compaction workers idle while the latch is set.
+func (db *DB) recoverOnce(be *BackgroundError) error {
+	var err error
+	switch categoryOf(be.Op) {
+	case catWAL:
+		err = db.recoverWAL()
+	case catManifest:
+		err = db.recoverManifest()
+	default:
+		return fmt.Errorf("engine: no recovery procedure for %q", be.Op)
+	}
+	if err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	// Quiescence before the repair plus fail-fast writers during it
+	// mean nothing could have latched concurrently: the only way the
+	// latch changed is the repair failing, and it reported success.
+	db.bgErr = nil
+	db.bgSeverity = SeverityNone
+	db.recoveryGaveUp = false
+	db.updateStallStateLocked()
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+	db.deleteObsoleteFiles()
+	return nil
+}
+
+// quiesceForRecoveryLocked waits until the write path and background
+// workers are between operations: no queued writers (under the latch
+// they fail fast, so the queue drains), no in-flight commit groups, no
+// flush or compaction mid-run, and no obsolete-file sweep reading
+// version-set state. Recovery may then swap WAL handles and mutate the
+// manifest without racing anything. Returns false if the DB closed
+// while waiting. Callers hold db.mu.
+func (db *DB) quiesceForRecoveryLocked() bool {
+	for !db.closed && (len(db.writers) > 0 || len(db.pendingGroups) > 0 ||
+		db.flushing || db.compacting || db.sweeps > 0) {
+		db.bgCond.Wait()
+	}
+	return !db.closed
+}
+
+// recoverWAL repairs a poisoned write-ahead log: it creates a
+// replacement WAL (the recovery probe — if the device is still failing
+// the attempt dies here), swaps it in, rotates the current memtable
+// behind it, and drains the immutable queue before the caller clears
+// the latch. The abandoned log's handle is closed; the file itself
+// stays until the post-recovery sweep, by which time its contents are
+// covered by SSTs.
+func (db *DB) recoverWAL() error {
+	db.mu.Lock()
+	if !db.quiesceForRecoveryLocked() {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.opts.DisableWAL {
+		db.mu.Unlock()
+		return db.recoveryDrainImms()
+	}
+	newNum := db.vs.AllocFileNum()
+	oldNum := db.walNum
+	db.mu.Unlock()
+
+	newFile, err := db.walFS.Create(manifest.WALName(newNum))
+	if err != nil {
+		return fmt.Errorf("engine: recovery wal probe: %w", err)
+	}
+
+	db.mu.Lock()
+	oldFile := db.walFile
+	db.walFile = newFile
+	db.walWriter = wal.NewWriter(newFile)
+	db.walNum = newNum
+	if !db.mem.Empty() {
+		// The mutable memtable's writes live only in the dead log;
+		// queue it so the drain below makes them durable in SSTs.
+		db.imms = append(db.imms, flushedMem{
+			mem: db.mem, walNum: oldNum, maxSeq: db.lastSeq, reason: "recovery",
+		})
+		db.mem = memtable.New(db.memBudget)
+	}
+	db.mu.Unlock()
+	if oldFile != nil {
+		_ = oldFile.Close()
+	}
+	return db.recoveryDrainImms()
+}
+
+// recoverManifest abandons a MANIFEST whose tail may hold a torn edit:
+// it rolls to a fresh manifest holding one full-snapshot edit (nothing
+// to replay past), then drains the immutable queue so the latch clears
+// with every acked write durable.
+func (db *DB) recoverManifest() error {
+	db.mu.Lock()
+	if !db.quiesceForRecoveryLocked() {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	for db.manifestBusy {
+		db.bgCond.Wait()
+		if db.closed {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+	}
+	db.manifestBusy = true
+	db.mu.Unlock()
+
+	// Roll mutates only version-set state; every other mutator is
+	// either quiesced or excluded by manifestBusy.
+	err := db.vs.Roll()
+
+	db.mu.Lock()
+	db.manifestBusy = false
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.recoveryDrainImms()
+}
+
+// recoveryDrainImms flushes every queued immutable memtable to Level 0,
+// committing the edits with the recovery bypass. When it returns nil,
+// every acknowledged write is durable in SSTs — the precondition for
+// clearing the latch.
+func (db *DB) recoveryDrainImms() error {
+	for {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		if len(db.imms) == 0 {
+			db.mu.Unlock()
+			return nil
+		}
+		fm := db.imms[0]
+		num := db.vs.AllocFileNum()
+		db.pendingOutputs[num] = true
+		logNum := db.walNum
+		if len(db.imms) > 1 {
+			logNum = db.imms[1].walNum
+		}
+		queued := len(db.imms)
+		db.mu.Unlock()
+
+		db.emitFlushBegin(fm.reason, fm.walNum, fm.mem.ApproximateSize(), queued)
+		flushStart := db.clk.Now()
+		meta, err := db.buildTable(num, newMemIter(fm.mem))
+		if err == nil {
+			seq := fm.maxSeq
+			err = db.commitEditWith(&manifest.Edit{
+				LogNum:  &logNum,
+				LastSeq: &seq,
+				Added:   []manifest.AddedFile{{Level: 0, Meta: meta}},
+			}, true)
+		}
+
+		db.mu.Lock()
+		delete(db.pendingOutputs, num)
+		l0Files := db.vs.Current().NumFiles(0)
+		if err != nil {
+			db.mu.Unlock()
+			db.emitFlushEnd(fm.reason, fm.walNum, num, 0, l0Files,
+				db.clk.Now().Sub(flushStart), err)
+			return err
+		}
+		db.imms = db.imms[1:]
+		db.metrics.Flushes.Add(1)
+		db.metrics.FlushBytes.Add(meta.Size)
+		db.bgCond.Broadcast()
+		db.mu.Unlock()
+		db.emitFlushEnd(fm.reason, fm.walNum, num, meta.Size, l0Files,
+			db.clk.Now().Sub(flushStart), nil)
+	}
+}
+
+// Resume manually retries recovery from a latched background error —
+// RocksDB's DB::Resume. It returns nil once the DB is healthy (also
+// when it already was, or a concurrent automatic attempt wins the
+// race), the latched error itself when its severity is not
+// recoverable, and the latched error after a failed attempt (the latch
+// stays set for a later Resume).
+func (db *DB) Resume() error {
+	db.mu.Lock()
+	for {
+		if db.closed {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		if db.bgErr == nil {
+			db.mu.Unlock()
+			return nil
+		}
+		if !db.recovering {
+			break
+		}
+		// An attempt is mid-flight; wait for its verdict.
+		db.bgCond.Wait()
+	}
+	be, ok := db.bgErr.(*BackgroundError)
+	if !ok || !be.Severity.Recoverable() {
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
+	}
+	db.recovering = true
+	db.mu.Unlock()
+
+	db.metrics.RecoveryAttempts.Add(1)
+	db.emitRecovery(events.KindRecoveryBegin, &events.Recovery{
+		Op: be.Op, Severity: be.Severity.String(), Manual: true,
+	})
+	db.emitRecovery(events.KindRecoveryAttempt, &events.Recovery{
+		Op: be.Op, Severity: be.Severity.String(), Attempt: 1, Manual: true,
+	})
+	err := db.recoverOnce(be)
+
+	db.mu.Lock()
+	db.recovering = false
+	latched := db.bgErr
+	db.bgCond.Broadcast()
+	// If this manual attempt failed with automatic budget remaining,
+	// the worker takes over again.
+	db.recoveryCond.Broadcast()
+	db.mu.Unlock()
+
+	if err == nil {
+		db.metrics.RecoverySuccesses.Add(1)
+		db.emitRecovery(events.KindRecoverySuccess, &events.Recovery{
+			Op: be.Op, Attempt: 1, Manual: true, Health: db.Health().String(),
+		})
+		return nil
+	}
+	db.emitRecovery(events.KindRecoveryGiveup, &events.Recovery{
+		Op: be.Op, Attempt: 1, Manual: true, Error: err.Error(),
+	})
+	if latched != nil {
+		return latched
+	}
+	return err
+}

@@ -48,6 +48,12 @@ type MetricsSnapshot struct {
 	WALSyncs     int64
 	WALSyncBytes int64
 
+	SoftErrors        int64
+	HardErrors        int64
+	RecoveryAttempts  int64
+	RecoverySuccesses int64
+	RecoveryGiveups   int64
+
 	PerfWriteOps int64
 	PerfReadOps  int64
 }
@@ -91,6 +97,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		WALSyncs:     m.WALSyncs.Load(),
 		WALSyncBytes: m.WALSyncBytes.Load(),
 
+		SoftErrors:        m.SoftErrors.Load(),
+		HardErrors:        m.HardErrors.Load(),
+		RecoveryAttempts:  m.RecoveryAttempts.Load(),
+		RecoverySuccesses: m.RecoverySuccesses.Load(),
+		RecoveryGiveups:   m.RecoveryGiveups.Load(),
+
 		PerfWriteOps: m.PerfWriteOps.Load(),
 		PerfReadOps:  m.PerfReadOps.Load(),
 	}
@@ -115,6 +127,10 @@ func (m *Metrics) Report() string {
 	fmt.Fprintf(&b, "read path      : mem %d, imm %d, L0 %d, deep %d, miss %d; L0 probes %d, bloom skips %d\n",
 		s.GetHitMemtable, s.GetHitImmutable, s.GetHitL0, s.GetHitDeep, s.GetMisses,
 		s.L0TablesProbed, s.BloomSkips)
+	if s.SoftErrors > 0 || s.HardErrors > 0 || s.RecoveryAttempts > 0 {
+		fmt.Fprintf(&b, "bg errors      : %d soft, %d hard; recovery %d attempts, %d recovered, %d gave up\n",
+			s.SoftErrors, s.HardErrors, s.RecoveryAttempts, s.RecoverySuccesses, s.RecoveryGiveups)
+	}
 
 	if s.PerfWriteOps > 0 {
 		e2e := m.WriteLatency.Sum()
@@ -203,10 +219,17 @@ func (db *DB) StatsReport() string {
 	}
 	imms := len(db.imms)
 	stall := db.stallState
+	health := db.healthLocked()
+	bg := db.bgErr
 	db.mu.Unlock()
 
 	if len(lsm) == 0 {
 		lsm = []string{"empty"}
+	}
+	if bg != nil {
+		fmt.Fprintf(&b, "health         : %v (%v)\n", health, bg)
+	} else {
+		fmt.Fprintf(&b, "health         : %v\n", health)
 	}
 	fmt.Fprintf(&b, "lsm            : %s; immutables %d\n", strings.Join(lsm, ", "), imms)
 	total, delayed, adjustments := db.controller.Stats()

@@ -36,3 +36,24 @@ func TestTortureCrashRecovery(t *testing.T) {
 		}
 	}
 }
+
+// TestTortureTransientRecovery runs the transient-fault torture mode:
+// the same seeded workload machinery, but every injected fault heals
+// (FailNTimes/HealAfter) and the engine's recovery worker must return
+// the SAME handle to Healthy with zero acked-write loss — no reopen.
+// On failure, reproduce with `go run ./cmd/torture -seed N -transient`.
+func TestTortureTransientRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture harness skipped in -short mode")
+	}
+	for i := 0; i < *tortureIters; i++ {
+		seed := *tortureSeed + int64(i)
+		cfg := torture.Config{Seed: seed, Ops: *tortureOps, Transient: true}
+		if testing.Verbose() {
+			cfg.Logf = t.Logf
+		}
+		if err := torture.Run(cfg); err != nil {
+			t.Fatalf("%v\n\nreproduce with: go run ./cmd/torture -seed %d -transient", err, seed)
+		}
+	}
+}

@@ -273,7 +273,7 @@ func (db *DB) leaderCommit(leader *writer) {
 	// via the cost model — and only syncs to the device when a
 	// writer asked for it (Options.SyncWAL or Apply(sync=true)).
 	var walErr error
-	walOp := "wal-append"
+	walOp := opWALAppend
 	if !db.opts.DisableWAL {
 		walStart := db.clk.Now()
 		rep := db.combinedRepr(group)
@@ -287,7 +287,7 @@ func (db *DB) leaderCommit(leader *writer) {
 		}
 		walEnd := appendDone
 		if walErr == nil && syncNeeded {
-			walOp = "wal-sync"
+			walOp = opWALSync
 			pending := db.walWriter.Pending()
 			walErr = db.walWriter.Sync()
 			walEnd = db.clk.Now()
@@ -535,14 +535,19 @@ func (db *DB) rotateMemtableLocked(reason string) error {
 
 	db.mu.Lock()
 	if err != nil {
+		// Transient, retriable, old WAL intact: a soft error — writes
+		// keep flowing into the current memtable and the next rotation
+		// attempt retries the create.
+		db.setBackgroundErrorLocked(opWALRotateCreate, err)
 		return fmt.Errorf("engine: rotate wal: %w", err)
 	}
+	db.clearSoftErrorLocked(opWALRotateCreate)
 	if serr != nil {
 		// The old log's unsynced tail — already acknowledged to
 		// writers — may not be durable. Unlike a failed create (a
 		// transient, retriable condition with the old WAL intact),
 		// this breaks the durability contract: latch it.
-		db.setBackgroundErrorLocked("wal-rotate-sync", serr)
+		db.setBackgroundErrorLocked(opWALRotateSync, serr)
 		return fmt.Errorf("engine: rotate wal: sync old log: %w", serr)
 	}
 	if !db.opts.DisableWAL {

@@ -40,6 +40,10 @@ const (
 	KindWALSync         Kind = "wal_sync"
 	KindFSOp            Kind = "fs_op"
 	KindBackgroundError Kind = "background_error"
+	KindRecoveryBegin   Kind = "error_recovery_begin"
+	KindRecoveryAttempt Kind = "error_recovery_attempt"
+	KindRecoverySuccess Kind = "error_recovery_success"
+	KindRecoveryGiveup  Kind = "error_recovery_giveup"
 )
 
 // Event is the envelope written as one JSON line. Exactly one payload
@@ -61,6 +65,7 @@ type Event struct {
 	WALSync    *WALSync    `json:"wal_sync,omitempty"`
 	FSOp       *FSOp       `json:"fs_op,omitempty"`
 	BGError    *BGError    `json:"background_error,omitempty"`
+	Recovery   *Recovery   `json:"recovery,omitempty"`
 }
 
 // Flush describes a memtable flush (begin and end share the struct;
@@ -165,6 +170,31 @@ type BGError struct {
 	// wal-rotate-sync, manifest-append, manifest-install.
 	Op    string `json:"op"`
 	Error string `json:"error"`
+	// Severity is the classified severity the error latched at
+	// (soft, hard, fatal, unrecoverable).
+	Severity string `json:"severity,omitempty"`
+}
+
+// Recovery records one episode of the engine's background-error
+// recovery machinery: begin when a retryable error engages the
+// recovery worker, attempt per probe (automatic or manual Resume),
+// success when the latch clears, giveup when the retry budget is
+// exhausted and the error escalates to fatal.
+type Recovery struct {
+	// Op is the failed path being recovered from (wal-sync,
+	// manifest-append, ...).
+	Op string `json:"op"`
+	// Severity is the latched error's severity at this point.
+	Severity string `json:"severity,omitempty"`
+	// Attempt numbers the recovery attempts for this latch episode,
+	// starting at 1.
+	Attempt int `json:"attempt,omitempty"`
+	// Manual marks an operator-driven db.Resume() attempt.
+	Manual bool `json:"manual,omitempty"`
+	// Error carries the attempt's failure (attempt/giveup events).
+	Error string `json:"error,omitempty"`
+	// Health is the DB health after the event (success/giveup).
+	Health string `json:"health,omitempty"`
 }
 
 // Listener receives events. Implementations must be safe for
@@ -352,6 +382,29 @@ func (e Event) String() string {
 	case KindWALSync:
 		return fmt.Sprintf("%s wal sync: log=%d %dB in %dµs",
 			ts, e.WALSync.WALNum, e.WALSync.Bytes, e.WALSync.DurationUS)
+	case KindBackgroundError:
+		return fmt.Sprintf("%s BACKGROUND ERROR (%s, %s): %s",
+			ts, e.BGError.Op, e.BGError.Severity, e.BGError.Error)
+	case KindRecoveryBegin:
+		return fmt.Sprintf("%s recovery begin: op=%s severity=%s",
+			ts, e.Recovery.Op, e.Recovery.Severity)
+	case KindRecoveryAttempt:
+		mode := "auto"
+		if e.Recovery.Manual {
+			mode = "manual"
+		}
+		if e.Recovery.Error != "" {
+			return fmt.Sprintf("%s recovery attempt %d (%s, op=%s) FAILED: %s",
+				ts, e.Recovery.Attempt, mode, e.Recovery.Op, e.Recovery.Error)
+		}
+		return fmt.Sprintf("%s recovery attempt %d (%s, op=%s)",
+			ts, e.Recovery.Attempt, mode, e.Recovery.Op)
+	case KindRecoverySuccess:
+		return fmt.Sprintf("%s recovery SUCCESS after attempt %d (op=%s): health=%s",
+			ts, e.Recovery.Attempt, e.Recovery.Op, e.Recovery.Health)
+	case KindRecoveryGiveup:
+		return fmt.Sprintf("%s recovery GIVEUP after attempt %d (op=%s): %s",
+			ts, e.Recovery.Attempt, e.Recovery.Op, e.Recovery.Error)
 	}
 	return fmt.Sprintf("%s %s", ts, e.Kind)
 }

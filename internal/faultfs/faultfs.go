@@ -93,6 +93,13 @@ type Fault struct {
 
 // Rule selects operations and applies a Fault to them. Fields combine
 // conjunctively; zero values mean "no constraint".
+//
+// FailNTimes and HealAfter make a rule transient: it injects faults for
+// a bounded episode and then heals permanently, modeling a device
+// brown-out (a loose cable, a controller reset, a full-then-trimmed
+// disk) rather than a dead one. Healed rules never fire again, which is
+// what lets the engine's background-error recovery prove it can return
+// to service without a reopen.
 type Rule struct {
 	// Ops lists the operation classes the rule targets (nil = all).
 	Ops []Op
@@ -106,12 +113,24 @@ type Rule struct {
 	// Prob fires the rule with this probability per eligible
 	// operation (0 or ≥1 = always).
 	Prob float64
+	// FailNTimes, when > 0, makes the rule fire deterministically
+	// (ignoring Prob) on its first FailNTimes eligible operations and
+	// then heal permanently. Unlike Count — which caps fires but
+	// leaves a probabilistic rule armed forever — a FailNTimes rule is
+	// guaranteed healthy once its budget is consumed.
+	FailNTimes int64
+	// HealAfter, when > 0, heals the rule this long (on the wrapper's
+	// clock) after its first eligible operation: operations inside the
+	// window fault per the other selectors, later ones pass.
+	HealAfter time.Duration
 	// Fault is applied when the rule fires.
 	Fault Fault
 
-	matched int64
-	fired   int64
-	fs      *FS
+	matched    int64
+	fired      int64
+	healed     bool
+	firstMatch time.Time
+	fs         *FS
 }
 
 // Matched returns how many operations matched the rule's selectors
@@ -127,6 +146,21 @@ func (r *Rule) Fired() int64 {
 	r.fs.mu.Lock()
 	defer r.fs.mu.Unlock()
 	return r.fired
+}
+
+// Healed reports whether a transient rule (FailNTimes or HealAfter set)
+// has permanently stopped firing. Rules without transient bounds never
+// heal.
+func (r *Rule) Healed() bool {
+	r.fs.mu.Lock()
+	defer r.fs.mu.Unlock()
+	if !r.healed && r.HealAfter > 0 && !r.firstMatch.IsZero() &&
+		r.fs.clk.Now().Sub(r.firstMatch) >= r.HealAfter {
+		// The heal deadline may pass without another matching
+		// operation to observe it; report it anyway.
+		r.healed = true
+	}
+	return r.healed
 }
 
 // shadow is the wrapper's record of one file: everything written
@@ -319,13 +353,37 @@ func (f *FS) begin(op Op, name string) *Fault {
 		if r.matched <= r.After {
 			continue
 		}
-		if r.Count > 0 && r.fired >= r.Count {
+		if r.healed {
 			continue
 		}
-		if r.Prob > 0 && r.Prob < 1 && f.rng.Float64() >= r.Prob {
-			continue
+		if r.HealAfter > 0 {
+			now := f.clk.Now()
+			if r.firstMatch.IsZero() {
+				r.firstMatch = now
+			} else if now.Sub(r.firstMatch) >= r.HealAfter {
+				r.healed = true
+				continue
+			}
+		}
+		if r.FailNTimes > 0 {
+			if r.fired >= r.FailNTimes {
+				r.healed = true
+				continue
+			}
+			// Deterministic transient episode: Prob does not apply.
+		} else {
+			if r.Count > 0 && r.fired >= r.Count {
+				continue
+			}
+			if r.Prob > 0 && r.Prob < 1 && f.rng.Float64() >= r.Prob {
+				continue
+			}
 		}
 		r.fired++
+		if r.FailNTimes > 0 && r.fired >= r.FailNTimes {
+			// Budget consumed: healed from the next operation on.
+			r.healed = true
+		}
 		f.inject++
 		ft := r.Fault
 		return &ft

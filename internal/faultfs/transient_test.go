@@ -1,0 +1,161 @@
+package faultfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFailNTimesHeals: a FailNTimes rule fires deterministically on
+// exactly its first N eligible operations, then heals permanently.
+func TestFailNTimesHeals(t *testing.T) {
+	f, _ := newTestFS(t, 1)
+	rule := f.AddRule(Rule{Ops: []Op{OpCreate}, Path: "*.log", FailNTimes: 3})
+
+	for i := 0; i < 3; i++ {
+		if _, err := f.Create("a.log"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("create %d = %v, want ErrInjected", i, err)
+		}
+		if i < 2 && rule.Healed() {
+			t.Fatalf("rule healed after %d fires, budget is 3", i+1)
+		}
+	}
+	if !rule.Healed() {
+		t.Fatal("rule not healed after consuming FailNTimes budget")
+	}
+	for i := 0; i < 5; i++ {
+		h, err := f.Create("a.log")
+		if err != nil {
+			t.Fatalf("create after heal = %v, want nil", err)
+		}
+		h.Close()
+	}
+	if got := rule.Fired(); got != 3 {
+		t.Fatalf("rule fired %d times, want exactly 3", got)
+	}
+}
+
+// TestFailNTimesIgnoresProb: the transient episode is deterministic —
+// every eligible op inside the budget faults even with a tiny Prob.
+func TestFailNTimesIgnoresProb(t *testing.T) {
+	f, _ := newTestFS(t, 2)
+	f.AddRule(Rule{Ops: []Op{OpSync}, FailNTimes: 2, Prob: 0.000001})
+
+	h, err := f.Create("x")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer h.Close()
+	for i := 0; i < 2; i++ {
+		if err := h.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d = %v, want ErrInjected despite Prob", i, err)
+		}
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("sync after heal = %v, want nil", err)
+	}
+}
+
+// TestFailNTimesRespectsAfter: the failure episode starts only once
+// After matching operations have passed.
+func TestFailNTimesRespectsAfter(t *testing.T) {
+	f, _ := newTestFS(t, 3)
+	f.AddRule(Rule{Ops: []Op{OpRemove}, After: 2, FailNTimes: 1})
+
+	for i := 0; i < 2; i++ {
+		writeFile(t, f, "victim", []byte("x"), true)
+		if err := f.Remove("victim"); err != nil {
+			t.Fatalf("remove %d (inside After window) = %v, want nil", i, err)
+		}
+	}
+	writeFile(t, f, "victim", []byte("x"), true)
+	if err := f.Remove("victim"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("remove past After = %v, want ErrInjected", err)
+	}
+	if err := f.Remove("victim"); err != nil {
+		t.Fatalf("remove after heal = %v, want nil", err)
+	}
+}
+
+// TestHealAfterWindow: a HealAfter rule faults inside its time window
+// (opened by the first eligible operation) and passes afterwards.
+func TestHealAfterWindow(t *testing.T) {
+	f, _ := newTestFS(t, 4)
+	rule := f.AddRule(Rule{Ops: []Op{OpCreate}, Path: "*.sst", HealAfter: 30 * time.Millisecond})
+
+	if _, err := f.Create("000001.sst"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create inside window = %v, want ErrInjected", err)
+	}
+	if rule.Healed() {
+		t.Fatal("rule healed immediately")
+	}
+	time.Sleep(40 * time.Millisecond)
+	h, err := f.Create("000002.sst")
+	if err != nil {
+		t.Fatalf("create after HealAfter = %v, want nil", err)
+	}
+	h.Close()
+	if !rule.Healed() {
+		t.Fatal("rule not healed after the window passed")
+	}
+}
+
+// TestHealedReportsWithoutTraffic: Healed must observe the deadline
+// even when no further matching operation arrives to advance the rule.
+func TestHealedReportsWithoutTraffic(t *testing.T) {
+	f, _ := newTestFS(t, 5)
+	rule := f.AddRule(Rule{Ops: []Op{OpSync}, HealAfter: 10 * time.Millisecond})
+
+	h, err := f.Create("x")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer h.Close()
+	if err := h.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if !rule.Healed() {
+		t.Fatal("Healed() = false after the deadline with no traffic")
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("sync after heal = %v, want nil", err)
+	}
+}
+
+// TestHealAfterWithProb: a probabilistic brown-out — some ops inside
+// the window fault, none after it.
+func TestHealAfterWithProb(t *testing.T) {
+	f, _ := newTestFS(t, 6)
+	f.AddRule(Rule{Ops: []Op{OpSync}, Prob: 0.5, HealAfter: 25 * time.Millisecond})
+
+	h, err := f.Create("x")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer h.Close()
+	for i := 0; i < 40; i++ {
+		_ = h.Sync() // may or may not fault inside the window
+	}
+	time.Sleep(30 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		if err := h.Sync(); err != nil {
+			t.Fatalf("sync %d after heal = %v, want nil", i, err)
+		}
+	}
+}
+
+// TestPermanentRuleNeverHeals: without transient bounds Healed stays
+// false and the rule keeps firing.
+func TestPermanentRuleNeverHeals(t *testing.T) {
+	f, _ := newTestFS(t, 7)
+	rule := f.AddRule(Rule{Ops: []Op{OpCreate}})
+	for i := 0; i < 10; i++ {
+		if _, err := f.Create("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("create %d = %v, want ErrInjected", i, err)
+		}
+	}
+	if rule.Healed() {
+		t.Fatal("permanent rule reported healed")
+	}
+}

@@ -163,6 +163,25 @@ func (s *Set) rollManifest() error {
 	return nil
 }
 
+// Roll switches to a fresh MANIFEST holding one snapshot edit of the
+// entire current state and closes the superseded file's handle (the
+// engine's error-recovery path uses this to abandon a manifest whose
+// tail may hold a torn edit). On failure the old manifest remains
+// CURRENT, open and intact, so the roll can be retried. Callers must
+// serialize Roll against Append (the engine's manifestBusy flag).
+func (s *Set) Roll() error {
+	old := s.manifestFile
+	if err := s.rollManifest(); err != nil {
+		return err
+	}
+	if old != nil {
+		// Best effort: the handle points at an already-unreferenced
+		// file (possibly on a failing device).
+		_ = old.Close()
+	}
+	return nil
+}
+
 // applyMeta applies an edit's allocator fields and file changes to the
 // in-memory state (used during replay and by LogAndApply).
 func (s *Set) applyMeta(edit *Edit) error {

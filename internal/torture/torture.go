@@ -65,6 +65,11 @@ type Config struct {
 	// is healthy and its MANIFEST progress survives another reopen
 	// (default 20).
 	PostRecoveryOps int
+	// Transient switches Run to the transient-fault mode: instead of
+	// crashing and reopening, every fault heals (FailNTimes/HealAfter
+	// rules) and the engine's recovery worker must return the SAME
+	// handle to Healthy with zero acked-write loss. See runTransient.
+	Transient bool
 	// Logf, when set, receives verbose progress (e.g. t.Logf).
 	Logf func(format string, args ...interface{})
 }
@@ -148,6 +153,9 @@ func violation(cfg Config, mode string, format string, args ...interface{}) erro
 // the durability contract held, or a detailed violation error.
 func Run(cfg Config) error {
 	cfg = cfg.withDefaults()
+	if cfg.Transient {
+		return runTransient(cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	dev := storage.New(clock.Real{}, storage.Null())
