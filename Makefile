@@ -5,7 +5,7 @@ GO ?= go
 TORTURE_ITERS ?= 50
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier3 bench-observability
+.PHONY: all tier1 tier2 tier3 bench-observability bench-smoke
 
 all: tier1
 
@@ -36,6 +36,13 @@ tier3:
 	$(GO) test ./internal/sstable -run '^$$' -fuzz '^FuzzBlockIter$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sstable -run '^$$' -fuzz '^FuzzTableReader$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/batch -run '^$$' -fuzz '^FuzzFromRepr$$' -fuzztime $(FUZZTIME)
+
+# A quick mixed-workload sanity run on the simulated 3D XPoint device:
+# concurrent reader and writer pools against one store, the shape the
+# SuperVersion read path is optimized for. Short enough for CI; the
+# full before/after numbers live in BENCH_superversion.json.
+bench-smoke:
+	$(GO) run ./cmd/dbbench -device xpoint -benchmarks mixed -threads 8 -duration 5s
 
 # Re-measure the write-path instrumentation overhead recorded in
 # BENCH_observability.json (fillrandom on the simulated device, bare

@@ -34,7 +34,7 @@ func main() {
 	var (
 		device     = flag.String("device", "xpoint", "simulated device: sata | pcie | xpoint | nvm | null")
 		path       = flag.String("path", "", "run on a real directory with the real clock instead of a simulated device")
-		benchmarks = flag.String("benchmarks", "readrandomwriterandom", "comma-free single benchmark: fillrandom | readrandom | readrandomwriterandom")
+		benchmarks = flag.String("benchmarks", "readrandomwriterandom", "comma-free single benchmark: fillrandom | readrandom | readrandomwriterandom | mixed")
 		threads    = flag.Int("threads", 4, "concurrent client threads")
 		duration   = flag.Duration("duration", 10*time.Second, "measured duration")
 		num        = flag.Int("num", 24000, "distinct keys")
@@ -237,6 +237,19 @@ func runBenchmark(clk clock.Clock, db *engine.DB, bench string, threads int, dur
 			log.Fatalf("preload: %v", err)
 		}
 		cfg.ReadRatio = 1 - writeRatio
+	case "mixed":
+		// Dedicated reader and writer pools: read latency here is the
+		// pure Get path under concurrent write pressure, the mix the
+		// SuperVersion read path is judged on (Get p50/p99 while
+		// flushes and compactions churn the version state).
+		if err := workload.Preload(db, num, valueSize); err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		cfg.ReadWorkers = (threads + 1) / 2
+		cfg.WriteWorkers = threads - cfg.ReadWorkers
+		if cfg.WriteWorkers == 0 {
+			cfg.WriteWorkers = 1
+		}
 	default:
 		log.Fatalf("unknown -benchmarks %q", bench)
 	}

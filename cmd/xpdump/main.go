@@ -260,6 +260,7 @@ func dumpEvents(path string, verbose bool) {
 	var flushBytes, flushUS int64
 	var compRead, compWritten, compUS int64
 	var walBytes, walUS int64
+	var zombies int
 	var stalls []events.Event
 	var rateSteps, decSteps int
 	minRate, maxRate := 0.0, 0.0
@@ -279,6 +280,8 @@ func dumpEvents(path string, verbose bool) {
 		case events.KindWALSync:
 			walBytes += e.WALSync.Bytes
 			walUS += e.WALSync.DurationUS
+		case events.KindObsoleteGC:
+			zombies += e.ObsoleteGC.Count
 		case events.KindStallChange:
 			stalls = append(stalls, e)
 		case events.KindRateChange:
@@ -307,6 +310,7 @@ func dumpEvents(path string, verbose bool) {
 		events.KindFlushBegin, events.KindFlushEnd,
 		events.KindCompactionBegin, events.KindCompactionEnd,
 		events.KindStallChange, events.KindRateChange, events.KindWALSync,
+		events.KindSuperVersionInstall, events.KindObsoleteGC,
 	} {
 		if counts[k] > 0 {
 			fmt.Printf("  %-17s %d\n", k, counts[k])
@@ -321,6 +325,9 @@ func dumpEvents(path string, verbose bool) {
 	}
 	if counts[events.KindWALSync] > 0 {
 		fmt.Printf("wal syncs  : %d B in %v\n", walBytes, time.Duration(walUS)*time.Microsecond)
+	}
+	if zombies > 0 {
+		fmt.Printf("zombie gc  : %d SST(s) deleted in %d sweeps\n", zombies, counts[events.KindObsoleteGC])
 	}
 	if rateSteps > 0 {
 		fmt.Printf("rate steps : %d (%d dec ×0.8, %d inc ×1.25), range %.1f–%.1f MB/s\n",

@@ -13,7 +13,9 @@ import (
 // the whole file is fetched with one streaming read (the device pays a
 // single base latency plus size/bandwidth — compaction readahead), and
 // all further block accesses are free memory reads. Point lookups do
-// NOT use this path; they pay per-block random reads.
+// NOT use this path; they pay per-block random reads. The compaction
+// holds a reference on its base version for the whole run, so the
+// input files cannot be deleted between pick and open.
 func (db *DB) openCompactionInput(meta *manifest.FileMeta) (*sstable.Reader, error) {
 	f, err := db.fs.Open(manifest.SSTName(meta.Num))
 	if err != nil {

@@ -44,15 +44,20 @@ func (db *DB) pickCompactionLocked() *compaction {
 	if v.NumFiles(0) >= db.opts.L0CompactionTrigger {
 		inputs := append([]*manifest.FileMeta(nil), v.Files[0]...)
 		smallest, largest := keyRangeOf(inputs)
-		return &compaction{
+		c := &compaction{
 			level:       0,
 			outputLevel: 1,
 			score:       float64(v.NumFiles(0)) / float64(db.opts.L0CompactionTrigger),
 			inputs:      inputs,
 			overlaps:    v.Overlaps(1, smallest, largest),
 			base:        v,
-			snaps:       db.liveSnapshotSeqsLocked(),
+			snaps:       db.liveSnapshotSeqs(),
 		}
+		// Pin the base version for the whole run: a concurrent flush
+		// install may drop the current version, and with it the last
+		// reference to the input files, while the merge is reading them.
+		c.base.Ref()
+		return c
 	}
 
 	// Deeper levels: size triggered, worst score first.
@@ -74,15 +79,17 @@ func (db *DB) pickCompactionLocked() *compaction {
 	db.compactCursor[bestLevel]++
 	in := files[idx]
 	smallest, largest := keyRangeOf([]*manifest.FileMeta{in})
-	return &compaction{
+	c := &compaction{
 		level:       bestLevel,
 		outputLevel: bestLevel + 1,
 		score:       bestScore,
 		inputs:      []*manifest.FileMeta{in},
 		overlaps:    v.Overlaps(bestLevel+1, smallest, largest),
 		base:        v,
-		snaps:       db.liveSnapshotSeqsLocked(),
+		snaps:       db.liveSnapshotSeqs(),
 	}
+	c.base.Ref() // see the L0 pick above
+	return c
 }
 
 func keyRangeOf(files []*manifest.FileMeta) (smallest, largest []byte) {
@@ -137,6 +144,7 @@ func (db *DB) compactWorker() {
 		stats, err := db.runCompaction(c)
 		db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
 			stats.entries, db.clk.Now().Sub(compStart), err)
+		c.base.Unref()
 
 		db.mu.Lock()
 		db.compacting = false
@@ -212,17 +220,7 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 	merged := iterator.NewMerging(iters...)
 	defer merged.Close()
 
-	// Every allocated output number stays in pendingOutputs until the
-	// edit is durably installed (or the compaction abandons it), so
-	// the obsolete-file sweep cannot reap an output mid-build.
 	var outNums []uint64
-	defer func() {
-		db.mu.Lock()
-		for _, n := range outNums {
-			delete(db.pendingOutputs, n)
-		}
-		db.mu.Unlock()
-	}()
 
 	var (
 		outputs     []*manifest.FileMeta
@@ -237,6 +235,28 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 		haveLast    bool
 		writtenByte int64
 	)
+
+	// Outputs never installed in a version have no reference protecting
+	// them — on failure they are removed here, unless a manifest-install
+	// error is latched (the durable manifest may already name them; see
+	// canDeleteFailedOutputLocked).
+	defer func() {
+		if err == nil {
+			return
+		}
+		if builder != nil {
+			_ = builderFile.Close()
+		}
+		db.mu.Lock()
+		del := db.canDeleteFailedOutputLocked()
+		db.mu.Unlock()
+		if !del {
+			return
+		}
+		for _, n := range outNums {
+			_ = db.fs.Remove(manifest.SSTName(n))
+		}
+	}()
 
 	finishOutput := func() error {
 		if builder == nil {
@@ -312,7 +332,6 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 		if builder == nil {
 			db.mu.Lock()
 			curNum = db.vs.AllocFileNum()
-			db.pendingOutputs[curNum] = true
 			db.mu.Unlock()
 			outNums = append(outNums, curNum)
 			f, cerr := db.fs.Create(manifest.SSTName(curNum))

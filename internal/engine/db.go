@@ -6,17 +6,38 @@
 // background flush and compaction, Bloom filters and a block cache —
 // instrumented so every figure of the paper can be regenerated.
 //
-// Locking discipline: db.mu (a clock.Mutex) protects all mutable
-// state. It is never held across I/O or any clock.Sleep; condition
-// variables created from the engine clock are used for every
-// cross-process wait, so the engine runs unchanged under the real
-// clock or the simulation kernel.
+// Locking discipline. Three tiers of state, three disciplines:
+//
+//   - Write-side and background state — the write queue, memtable
+//     rotation, the version set's manifest fields, worker flags — is
+//     protected by db.mu (a clock.Mutex). db.mu is never held across
+//     I/O or any clock.Sleep; condition variables created from the
+//     engine clock are used for every cross-process wait, so the
+//     engine runs unchanged under the real clock or the simulation
+//     kernel.
+//
+//   - The read hot path takes NO engine lock. Get, Has and iterator
+//     construction pin the current SuperVersion (superversion.go) with
+//     one atomic load + ref and read the immutable bundle
+//     {mem, imms, version}; the pin also keeps every SST the version
+//     references alive, because SST deletion is reference-driven (a
+//     file dies only when its last version reference drops — see
+//     internal/manifest and sweepZombies). Installers mutate engine
+//     state under db.mu, then publish a fresh SuperVersion with an
+//     atomic swap; readers and writers never contend on a lock.
+//
+//   - Snapshot registration uses its own snapsMu (never nested inside
+//     by anything that also wants db.mu to be taken afterwards; the
+//     only nesting is db.mu → snapsMu in compaction picks). Loading
+//     visibleSeq inside snapsMu gives compaction the ordering proof it
+//     needs — see NewSnapshot.
 package engine
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"xpointdb/internal/cache"
@@ -81,6 +102,16 @@ type DB struct {
 	mem  *memtable.Memtable
 	imms []flushedMem
 
+	// sv is the current SuperVersion (superversion.go): the read
+	// path's atomically swapped {mem, imms, version} bundle. nil once
+	// Close has retired it. Installers write it under db.mu; readers
+	// pin it lock-free via acquireSV.
+	sv atomic.Pointer[superVersion]
+
+	// openIters counts live iterators, each holding a SuperVersion
+	// pin; Close reports a leak error when any remain.
+	openIters atomic.Int64
+
 	walWriter *wal.Writer
 	walFile   vfs.File
 	walNum    uint64
@@ -119,13 +150,11 @@ type DB struct {
 	// quiesces on it before mutating version-set state outside db.mu.
 	sweeps int
 
-	// pendingOutputs tracks SST file numbers that exist (or are
-	// being written) but are not yet committed to a version, so the
-	// obsolete-file sweep does not delete works in progress.
-	pendingOutputs map[uint64]bool
-
-	// snapshots maps live snapshots to their pinned sequence
-	// numbers; compaction preserves versions at these boundaries.
+	// snapsMu guards snapshots, which maps live snapshots to their
+	// pinned sequence numbers; compaction preserves versions at these
+	// boundaries. A dedicated mutex keeps snapshot acquisition off
+	// db.mu (lock order where both are held: db.mu → snapsMu).
+	snapsMu   sync.Mutex
 	snapshots map[*Snapshot]uint64
 
 	// adaptive L0 window counters (atomics; adaptive.go)
@@ -142,16 +171,15 @@ func Open(opts Options) (*DB, error) {
 	clk := opts.Clock
 
 	db := &DB{
-		opts:           opts,
-		clk:            clk,
-		fs:             opts.FS,
-		walFS:          opts.WALFS,
-		cost:           opts.CostModel,
-		metrics:        newMetrics(clk),
-		ev:             opts.EventListener,
-		memBudget:      opts.MemtableSize,
-		pendingOutputs: make(map[uint64]bool),
-		snapshots:      make(map[*Snapshot]uint64),
+		opts:      opts,
+		clk:       clk,
+		fs:        opts.FS,
+		walFS:     opts.WALFS,
+		cost:      opts.CostModel,
+		metrics:   newMetrics(clk),
+		ev:        opts.EventListener,
+		memBudget: opts.MemtableSize,
+		snapshots: make(map[*Snapshot]uint64),
 	}
 	if db.walFS == nil {
 		db.walFS = db.fs
@@ -240,7 +268,42 @@ func (db *DB) openOrRecover() error {
 	db.lastSeq = db.vs.LastSeq
 	db.visibleSeq.Store(db.lastSeq)
 	db.mem = memtable.New(db.memBudget)
-	return db.newWALLocked()
+	if err := db.newWALLocked(); err != nil {
+		return err
+	}
+	db.sweepOrphansAtOpen()
+	// Publish the initial SuperVersion. No lock needed: background
+	// workers and readers do not exist yet.
+	db.installSuperVersionLocked("open")
+	return nil
+}
+
+// sweepOrphansAtOpen removes directory leftovers a crash or failed
+// background job left behind: SSTs no version references (partial
+// flush/compaction outputs, files whose deleting edit was replayed)
+// and superseded manifests. Runtime SST deletion is reference-driven
+// and never rescans the directory, so this one-shot scan — after
+// recovery, before any worker or reader exists — is the only place
+// unknown files are reaped, and it is race-free by construction.
+func (db *DB) sweepOrphansAtOpen() {
+	// Manifest replay unrefs every intermediate version; drop those
+	// replay-era zombie notes — the live-set scan below covers their
+	// files, along with ones no edit ever named.
+	db.vs.TakeZombies()
+	names, err := db.fs.List()
+	if err != nil {
+		return
+	}
+	live := db.vs.LiveFileNums()
+	manifestNum := db.vs.ManifestNum()
+	for _, n := range names {
+		switch t, num := manifest.ParseName(n); {
+		case t == manifest.TypeSST && !live[num]:
+			_ = db.fs.Remove(n)
+		case t == manifest.TypeManifest && num != manifestNum:
+			_ = db.fs.Remove(n)
+		}
+	}
 }
 
 // newWALLocked rotates to a fresh WAL file. Despite the name it is
@@ -338,13 +401,28 @@ func (db *DB) Close() error {
 	bg := db.bgErr
 	db.mu.Unlock()
 
+	// Retire the SuperVersion: acquireSV now returns nil, so new reads
+	// fail with ErrClosed. If no reader leaked a pin, this is the final
+	// reference and the last version unpins; sweep what falls out.
 	var err error
+	if old := db.sv.Swap(nil); old != nil {
+		old.unref()
+	}
+	db.sweepZombies()
+	db.snapsMu.Lock()
+	leakedSnaps := len(db.snapshots)
+	db.snapsMu.Unlock()
+	if leakedIters := db.openIters.Load(); leakedIters > 0 || leakedSnaps > 0 {
+		err = fmt.Errorf("engine: close: %d iterator(s) and %d snapshot(s) never closed (leaked SuperVersion pins)",
+			leakedIters, leakedSnaps)
+	}
+
 	if db.walFile != nil {
 		if bg == nil {
 			// The final sync covers acknowledged-but-unsynced writes;
 			// its failure must be reported, not swallowed — the
 			// caller would otherwise believe the data durable.
-			if serr := db.walWriter.Sync(); serr != nil {
+			if serr := db.walWriter.Sync(); serr != nil && err == nil {
 				err = fmt.Errorf("engine: close: wal sync: %w", serr)
 			}
 		}
@@ -439,15 +517,15 @@ func (db *DB) updateStallStateLocked() {
 	}
 }
 
-// deleteObsoleteFiles removes SSTs no longer referenced, WALs older
-// than the live log, and stale manifests. Call WITHOUT db.mu held.
-//
-// Ordering is what makes this safe against concurrent flush and
-// compaction: the directory is listed FIRST, then the live set
-// (current version plus pendingOutputs) is snapshotted. Any file
-// committed to the version after the listing was created after the
-// listing too, so it cannot appear in it; any file being written is
-// protected by pendingOutputs.
+// deleteObsoleteFiles garbage-collects everything no reference can
+// reach: zombie SSTs, WALs older than the live log, and superseded
+// manifests. SST deletion is purely reference-driven — the zombie list
+// (emitted when the last reference to a version drops) is consumed
+// here and in releaseSV; the directory is never rescanned for SSTs at
+// runtime, so there is no listing/live-set race to reason about. WALs
+// and manifests are not refcounted and still use a directory scan
+// (listed BEFORE the live numbers are snapshotted, so files created
+// later cannot appear in the listing). Call WITHOUT db.mu held.
 func (db *DB) deleteObsoleteFiles() {
 	db.mu.Lock()
 	db.sweeps++
@@ -461,6 +539,8 @@ func (db *DB) deleteObsoleteFiles() {
 		db.mu.Unlock()
 	}()
 
+	db.sweepZombies()
+
 	names, err := db.fs.List()
 	if err != nil {
 		return
@@ -471,21 +551,13 @@ func (db *DB) deleteObsoleteFiles() {
 	}
 
 	db.mu.Lock()
-	live := db.vs.LiveFileNums()
-	for num := range db.pendingOutputs {
-		live[num] = true
-	}
 	logNum := db.vs.LogNum
 	curWAL := db.walNum
 	manifestNum := db.vs.ManifestNum()
 	db.mu.Unlock()
 
 	for _, n := range names {
-		switch t, num := manifest.ParseName(n); {
-		case t == manifest.TypeSST && !live[num]:
-			db.tables.evict(num)
-			_ = db.fs.Remove(n)
-		case t == manifest.TypeManifest && num != manifestNum:
+		if t, num := manifest.ParseName(n); t == manifest.TypeManifest && num != manifestNum {
 			// Recovery rolls to a fresh manifest; superseded ones
 			// linger only if the post-roll Remove failed.
 			_ = db.fs.Remove(n)

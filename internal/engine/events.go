@@ -142,3 +142,36 @@ func (db *DB) emitRecovery(kind events.Kind, rec *events.Recovery) {
 	}
 	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: kind, Recovery: rec})
 }
+
+// emitSuperVersionInstall records one read-path bundle swap. Callers
+// may hold db.mu; the listener only appends to its own buffer.
+func (db *DB) emitSuperVersionInstall(reason string, immutables, l0Files int) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{
+		TS:   db.clk.Now(),
+		Kind: events.KindSuperVersionInstall,
+		SuperVersion: &events.SuperVersion{
+			Reason:     reason,
+			Immutables: immutables,
+			L0Files:    l0Files,
+		},
+	})
+}
+
+// emitObsoleteGC records one zombie sweep: SSTs whose last version
+// reference died and were deleted from disk.
+func (db *DB) emitObsoleteGC(files []uint64) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{
+		TS:   db.clk.Now(),
+		Kind: events.KindObsoleteGC,
+		ObsoleteGC: &events.ObsoleteGC{
+			Count: len(files),
+			Files: append([]uint64(nil), files...),
+		},
+	})
+}

@@ -33,7 +33,6 @@ func (db *DB) flushWorker() {
 		}
 		fm := db.imms[0]
 		num := db.vs.AllocFileNum()
-		db.pendingOutputs[num] = true
 		db.flushing = true
 		queued := len(db.imms)
 		db.mu.Unlock()
@@ -63,7 +62,6 @@ func (db *DB) flushWorker() {
 
 		db.mu.Lock()
 		db.flushing = false
-		delete(db.pendingOutputs, num)
 		l0Files := db.vs.Current().NumFiles(0)
 		if err != nil {
 			db.opts.logf("flush failed: %v", err)
@@ -74,11 +72,17 @@ func (db *DB) flushWorker() {
 				// latched inside commitEdit; don't double-classify.)
 				db.noteSoftErrorLocked(opFlush, err)
 			}
+			delOutput := db.canDeleteFailedOutputLocked()
 			// Wake anyone quiescing on db.flushing (error recovery).
 			db.bgCond.Broadcast()
 			db.mu.Unlock()
 			db.emitFlushEnd(fm.reason, fm.walNum, num, 0, l0Files,
 				db.clk.Now().Sub(flushStart), err)
+			if delOutput {
+				// The output was never installed in any version, so no
+				// reference protects it; remove it directly.
+				_ = db.fs.Remove(manifest.SSTName(num))
+			}
 			// Leave the immutable queued and retry after a timed
 			// backoff. (An untimed cond wait here can livelock with
 			// a write leader stalled on the full immutable queue:
@@ -87,6 +91,7 @@ func (db *DB) flushWorker() {
 		} else {
 			db.clearSoftErrorLocked(opFlush)
 			db.imms = db.imms[1:]
+			db.installSuperVersionLocked("flush")
 			db.metrics.Flushes.Add(1)
 			db.metrics.FlushBytes.Add(meta.Size)
 			// Algorithm 1 rate feedback: a completed flush grew L0;
@@ -220,6 +225,8 @@ func (db *DB) commitEditWith(edit *manifest.Edit, recovery bool) error {
 			// In-memory apply failed after the durable append — the
 			// disk and memory states have diverged.
 			db.setBackgroundErrorLocked(opManifestInstall, err)
+		} else {
+			db.installSuperVersionLocked("version-edit")
 		}
 	}
 	db.updateStallStateLocked()

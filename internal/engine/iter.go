@@ -33,10 +33,16 @@ var _ iterator.Iterator = (*memIter)(nil)
 
 // Iter is a bidirectional iterator over the database's user keys at a
 // fixed sequence snapshot, merging memtables and all levels and
-// resolving versions and tombstones.
+// resolving versions and tombstones. It pins the SuperVersion it was
+// built from for its whole lifetime, so a scan can outlive any number
+// of flushes and compactions without losing an SST mid-iteration;
+// Close releases the pin (a leaked iterator is reported by db.Close).
 type Iter struct {
+	db     *DB
+	sv     *superVersion
 	merged *iterator.Merging
 	snap   uint64
+	closed bool
 
 	key     []byte
 	value   []byte
@@ -52,37 +58,40 @@ func (db *DB) NewIter() (*Iter, error) {
 	return db.newIterAt(db.visibleSeq.Load())
 }
 
-// newIterAt returns an iterator pinned to sequence snapshot snap.
+// newIterAt returns an iterator pinned to sequence snapshot snap. The
+// SuperVersion acquired here is held until Close: its version refs
+// every SST the scan may touch, so none can be deleted underneath it.
 func (db *DB) newIterAt(snap uint64) (*Iter, error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
+	sv := db.acquireSV()
+	if sv == nil {
 		return nil, ErrClosed
 	}
-	mem := db.mem
-	imms := append([]flushedMem(nil), db.imms...)
-	ver := db.vs.Current()
-	db.mu.Unlock()
 
 	var children []iterator.Iterator
-	children = append(children, newMemIter(mem))
-	for i := len(imms) - 1; i >= 0; i-- {
-		children = append(children, newMemIter(imms[i].mem))
+	fail := func(err error) (*Iter, error) {
+		for _, c := range children {
+			_ = c.Close()
+		}
+		db.releaseSV(sv)
+		return nil, err
+	}
+	children = append(children, newMemIter(sv.mem))
+	for i := len(sv.imms) - 1; i >= 0; i-- {
+		children = append(children, newMemIter(sv.imms[i].mem))
 	}
 	// L0: one iterator per file.
-	for _, f := range ver.L0Newest() {
+	for _, f := range sv.ver.L0Newest() {
 		r, err := db.tables.get(f)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		children = append(children, r.NewIter())
 	}
-	// L1+: one concat iterator per level. Readers are resolved
-	// eagerly so the iterator holds every file it may touch open —
-	// files deleted by later compactions stay readable through the
-	// held handles (see tableCache.evict).
+	// L1+: one concat iterator per level. Readers are resolved eagerly
+	// while the pin already protects them; the pin — not the handles —
+	// is what keeps the files on disk until Close.
 	for l := 1; l < manifest.NumLevels; l++ {
-		files := ver.Files[l]
+		files := sv.ver.Files[l]
 		if len(files) == 0 {
 			continue
 		}
@@ -90,7 +99,7 @@ func (db *DB) newIterAt(snap uint64) (*Iter, error) {
 		for i, f := range files {
 			r, err := db.tables.get(f)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			readers[i] = r
 		}
@@ -103,7 +112,10 @@ func (db *DB) newIterAt(snap uint64) (*Iter, error) {
 		))
 	}
 
+	db.openIters.Add(1)
 	return &Iter{
+		db:     db,
+		sv:     sv,
 		merged: iterator.NewMerging(children...),
 		snap:   snap,
 	}, nil
@@ -266,5 +278,16 @@ func (it *Iter) Value() []byte { return it.value }
 // Error returns the first error encountered.
 func (it *Iter) Error() error { return it.err }
 
-// Close releases the iterator.
-func (it *Iter) Close() error { return it.merged.Close() }
+// Close releases the iterator and its SuperVersion pin. Safe to call
+// more than once. The pin is dropped only after the child iterators
+// are closed — it is what keeps their tables alive.
+func (it *Iter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	err := it.merged.Close()
+	it.db.releaseSV(it.sv)
+	it.db.openIters.Add(-1)
+	return err
+}

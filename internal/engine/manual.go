@@ -52,8 +52,10 @@ func (db *DB) compactLevelRange(level int, start, end []byte) error {
 		inputs:      inputs,
 		overlaps:    v.Overlaps(level+1, smallest, largest),
 		base:        v,
-		snaps:       db.liveSnapshotSeqsLocked(),
+		snaps:       db.liveSnapshotSeqs(),
 	}
+	// Pin the inputs for the run (see pickCompactionLocked).
+	c.base.Ref()
 	db.compacting = true
 	db.mu.Unlock()
 
@@ -67,6 +69,7 @@ func (db *DB) compactLevelRange(level int, start, end []byte) error {
 	stats, err := db.runCompaction(c)
 	db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
 		stats.entries, db.clk.Now().Sub(compStart), err)
+	c.base.Unref()
 
 	db.mu.Lock()
 	db.compacting = false

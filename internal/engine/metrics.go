@@ -43,6 +43,16 @@ type Metrics struct {
 	CompactionBytesWritten  atomic.Int64
 	CompactionEntriesMerged atomic.Int64
 
+	// SuperVersion lifecycle. SuperVersionInstalls counts read-path
+	// bundle swaps (rotation, flush, version-edit, recovery, open).
+	// PinnedVersions gauges how many versions are alive at once — the
+	// current bundle plus every bundle pinned by an open iterator or an
+	// in-flight read. ZombieFilesDeleted counts SSTs reclaimed by the
+	// reference-driven sweep.
+	SuperVersionInstalls atomic.Int64
+	ZombieFilesDeleted   atomic.Int64
+	PinnedVersions       Gauge
+
 	// Read-path shape counters.
 	GetHitMemtable  atomic.Int64
 	GetHitImmutable atomic.Int64
@@ -97,6 +107,7 @@ func newMetrics(clk clock.Clock) *Metrics {
 	m.Ops = histogram.NewTimeSeries(m.start, time.Second)
 	m.WriteOps = histogram.NewTimeSeries(m.start, time.Second)
 	m.WaitingWriters.init(clk)
+	m.PinnedVersions.init(clk)
 	return m
 }
 

@@ -2,14 +2,12 @@ package engine
 
 import (
 	"bytes"
-	"errors"
 	"time"
 
 	"xpointdb/internal/keys"
 	"xpointdb/internal/manifest"
 	"xpointdb/internal/memtable"
 	"xpointdb/internal/sstable"
-	"xpointdb/internal/vfs"
 )
 
 // Get returns the value stored under key, or ErrNotFound. The lookup
@@ -48,37 +46,27 @@ func (db *DB) GetWithPerf(key []byte, pc *PerfContext) ([]byte, error) {
 }
 
 func (db *DB) get(key []byte, pc *PerfContext) ([]byte, error) {
-	return db.getAt(key, db.visibleSeq.Load(), pc)
+	// The snapshot sequence is loaded BEFORE the SuperVersion is
+	// pinned. Any bundle current at pin time holds every write visible
+	// at a sequence loaded earlier (newer bundles are supersets), so
+	// this order can never miss committed data; the reverse order
+	// could read a sequence the pinned bundle predates.
+	snap := db.visibleSeq.Load()
+	return db.getAt(key, snap, pc)
 }
 
-// getAt reads key as of sequence snapshot snap.
+// getAt reads key as of sequence snapshot snap against a pinned
+// SuperVersion: one atomic load + ref, no db.mu. The pin keeps every
+// SST the version references alive (deletion is reference-driven), so
+// the lookup can never observe a vanished file — the ErrNotExist
+// retry loop that used to paper over that race is gone.
 func (db *DB) getAt(key []byte, snap uint64, pc *PerfContext) ([]byte, error) {
-	// The version snapshot is taken without pinning files, so a
-	// racing compaction can delete an SST under us (surfacing as a
-	// not-exist error); retrying against a fresh version resolves
-	// it. Two retries bound the pathological case of back-to-back
-	// compactions.
-	var err error
-	for attempt := 0; attempt < 3; attempt++ {
-		var val []byte
-		val, err = db.getAttempt(key, snap, pc)
-		if err == nil || err == ErrNotFound || err == ErrClosed || !errors.Is(err, vfs.ErrNotExist) {
-			return val, err
-		}
-	}
-	return nil, err
-}
-
-func (db *DB) getAttempt(key []byte, snap uint64, pc *PerfContext) ([]byte, error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
+	sv := db.acquireSV()
+	if sv == nil {
 		return nil, ErrClosed
 	}
-	mem := db.mem
-	imms := append([]flushedMem(nil), db.imms...)
-	ver := db.vs.Current()
-	db.mu.Unlock()
+	defer db.releaseSV(sv)
+	mem, imms, ver := sv.mem, sv.imms, sv.ver
 
 	// 1. Mutable memtable.
 	var t0 time.Time

@@ -236,6 +236,7 @@ func (db *DB) recoverWAL() error {
 			mem: db.mem, walNum: oldNum, maxSeq: db.lastSeq, reason: "recovery",
 		})
 		db.mem = memtable.New(db.memBudget)
+		db.installSuperVersionLocked("recovery")
 	}
 	db.mu.Unlock()
 	if oldFile != nil {
@@ -295,7 +296,6 @@ func (db *DB) recoveryDrainImms() error {
 		}
 		fm := db.imms[0]
 		num := db.vs.AllocFileNum()
-		db.pendingOutputs[num] = true
 		logNum := db.walNum
 		if len(db.imms) > 1 {
 			logNum = db.imms[1].walNum
@@ -316,15 +316,19 @@ func (db *DB) recoveryDrainImms() error {
 		}
 
 		db.mu.Lock()
-		delete(db.pendingOutputs, num)
 		l0Files := db.vs.Current().NumFiles(0)
 		if err != nil {
+			del := db.canDeleteFailedOutputLocked()
 			db.mu.Unlock()
 			db.emitFlushEnd(fm.reason, fm.walNum, num, 0, l0Files,
 				db.clk.Now().Sub(flushStart), err)
+			if del {
+				_ = db.fs.Remove(manifest.SSTName(num))
+			}
 			return err
 		}
 		db.imms = db.imms[1:]
+		db.installSuperVersionLocked("recovery")
 		db.metrics.Flushes.Add(1)
 		db.metrics.FlushBytes.Add(meta.Size)
 		db.bgCond.Broadcast()

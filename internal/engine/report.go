@@ -37,6 +37,11 @@ type MetricsSnapshot struct {
 	CompactionBytesWritten  int64
 	CompactionEntriesMerged int64
 
+	SuperVersionInstalls int64
+	ZombieFilesDeleted   int64
+	PinnedVersions       int64
+	PinnedVersionsMax    int64
+
 	GetHitMemtable  int64
 	GetHitImmutable int64
 	GetHitL0        int64
@@ -86,6 +91,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CompactionBytesWritten:  m.CompactionBytesWritten.Load(),
 		CompactionEntriesMerged: m.CompactionEntriesMerged.Load(),
 
+		SuperVersionInstalls: m.SuperVersionInstalls.Load(),
+		ZombieFilesDeleted:   m.ZombieFilesDeleted.Load(),
+		PinnedVersions:       m.PinnedVersions.Current(),
+		PinnedVersionsMax:    m.PinnedVersions.Max(),
+
 		GetHitMemtable:  m.GetHitMemtable.Load(),
 		GetHitImmutable: m.GetHitImmutable.Load(),
 		GetHitL0:        m.GetHitL0.Load(),
@@ -124,6 +134,8 @@ func (m *Metrics) Report() string {
 	fmt.Fprintf(&b, "flush          : %d (%d B)\n", s.Flushes, s.FlushBytes)
 	fmt.Fprintf(&b, "compaction     : %d (read %d B, wrote %d B, merged %d entries)\n",
 		s.Compactions, s.CompactionBytesRead, s.CompactionBytesWritten, s.CompactionEntriesMerged)
+	fmt.Fprintf(&b, "superversion   : %d installs, %d pinned (max %d), %d zombie SSTs deleted\n",
+		s.SuperVersionInstalls, s.PinnedVersions, s.PinnedVersionsMax, s.ZombieFilesDeleted)
 	fmt.Fprintf(&b, "read path      : mem %d, imm %d, L0 %d, deep %d, miss %d; L0 probes %d, bloom skips %d\n",
 		s.GetHitMemtable, s.GetHitImmutable, s.GetHitL0, s.GetHitDeep, s.GetMisses,
 		s.L0TablesProbed, s.BloomSkips)

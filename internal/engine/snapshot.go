@@ -6,19 +6,33 @@ import "sort"
 // see exactly the writes committed before NewSnapshot returned.
 // Compaction retains the newest version of every key at each live
 // snapshot boundary, so snapshot reads stay correct while background
-// work proceeds. Release it when done — a forgotten snapshot pins
-// obsolete versions forever.
+// work proceeds. Release it when done — db.Close reports forgotten
+// snapshots as leaks.
 type Snapshot struct {
 	db  *DB
 	seq uint64
 }
 
-// NewSnapshot captures the current visible state.
+// NewSnapshot captures the current visible state. It never touches
+// db.mu: registration takes only snapsMu, so snapshot acquisition does
+// not contend with the write queue or background installs.
+//
+// Correctness against a racing compaction pick hinges on two
+// orderings. First, visibleSeq is loaded INSIDE snapsMu. Second, a
+// pick reads the version BEFORE it reads the snapshot list (which
+// locks snapsMu). So if a pick's read of the list misses this
+// registration, this critical section ran after the pick's — meaning
+// the sequence below was loaded after the pick read its version, and
+// is therefore ≥ every sequence in that compaction's input files
+// (file contents were visible before the version existed). Such a
+// snapshot sees all the compaction's entries, and the newest version
+// of each key — which the merge always keeps — is exactly what it
+// needs. Snapshots the pick did observe get their stripe boundaries.
 func (db *DB) NewSnapshot() *Snapshot {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.snapsMu.Lock()
 	s := &Snapshot{db: db, seq: db.visibleSeq.Load()}
 	db.snapshots[s] = s.seq
+	db.snapsMu.Unlock()
 	return s
 }
 
@@ -27,12 +41,15 @@ func (s *Snapshot) Seq() uint64 { return s.seq }
 
 // Release unpins the snapshot. Safe to call more than once.
 func (s *Snapshot) Release() {
-	s.db.mu.Lock()
+	s.db.snapsMu.Lock()
 	delete(s.db.snapshots, s)
-	s.db.mu.Unlock()
+	s.db.snapsMu.Unlock()
 }
 
-// Get reads key as of the snapshot.
+// Get reads key as of the snapshot. The SuperVersion pinned inside
+// getAt may be newer than the snapshot — that is fine: newer bundles
+// hold a superset of the data, and sequence filtering hides everything
+// committed after s.seq.
 func (s *Snapshot) Get(key []byte) ([]byte, error) {
 	db := s.db
 	start := db.clk.Now()
@@ -48,9 +65,12 @@ func (s *Snapshot) NewIter() (*Iter, error) {
 	return s.db.newIterAt(s.seq)
 }
 
-// liveSnapshotSeqsLocked returns the live snapshot sequence numbers in
-// ascending order. Called with db.mu held.
-func (db *DB) liveSnapshotSeqsLocked() []uint64 {
+// liveSnapshotSeqs returns the live snapshot sequence numbers in
+// ascending order. Takes snapsMu; callers may hold db.mu (lock order
+// db.mu → snapsMu) but do not need to.
+func (db *DB) liveSnapshotSeqs() []uint64 {
+	db.snapsMu.Lock()
+	defer db.snapsMu.Unlock()
 	if len(db.snapshots) == 0 {
 		return nil
 	}

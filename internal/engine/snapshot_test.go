@@ -125,9 +125,9 @@ func TestReleasedSnapshotVersionsCollapse(t *testing.T) {
 	db.Put([]byte("k"), []byte("v1"))
 	snap := db.NewSnapshot()
 	snap.Release()
-	db.mu.Lock()
+	db.snapsMu.Lock()
 	n := len(db.snapshots)
-	db.mu.Unlock()
+	db.snapsMu.Unlock()
 	if n != 0 {
 		t.Fatalf("snapshot still registered after release: %d", n)
 	}

@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xpointdb/internal/vfs"
+)
+
+// TestIteratorOutlivesCompaction is the regression test for the core
+// SuperVersion guarantee: an open iterator pins the version it was
+// built from, so a manual compaction that rewrites every input SST
+// cannot delete files out from under the scan — and the zombies it
+// produces are reclaimed only once the iterator closes.
+func TestIteratorOutlivesCompaction(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	defer db.Close()
+
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := db.Put(testKey(i), testValue(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatalf("NewIter: %v", err)
+	}
+
+	// Overwrite everything and force a full rewrite of the tree while
+	// the iterator is open. The old SSTs become unreachable from the
+	// current version but stay pinned by the iterator.
+	for i := 0; i < n; i++ {
+		if err := db.Put(testKey(i), []byte("new-"+string(testValue(i)))); err != nil {
+			t.Fatalf("overwrite %d: %v", i, err)
+		}
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatalf("CompactRange: %v", err)
+	}
+
+	if pinned := db.metrics.PinnedVersions.Current(); pinned < 2 {
+		t.Fatalf("PinnedVersions = %d while iterator holds an old version, want >= 2", pinned)
+	}
+
+	// The scan must still see its snapshot: the original values, all
+	// of them, with no vanished-file errors.
+	i := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if got, want := string(it.Key()), string(testKey(i)); got != want {
+			t.Fatalf("key %d = %q, want %q", i, got, want)
+		}
+		if got, want := string(it.Value()), string(testValue(i)); got != want {
+			t.Fatalf("value %d = %q, want %q", i, got, want)
+		}
+		i++
+	}
+	if err := it.Error(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d keys, want %d", i, n)
+	}
+
+	before := db.metrics.ZombieFilesDeleted.Load()
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Closing the iterator dropped the last reference on the old
+	// version; its files are swept synchronously by releaseSV.
+	if after := db.metrics.ZombieFilesDeleted.Load(); after <= before {
+		t.Fatalf("ZombieFilesDeleted %d -> %d: closing the pinning iterator reclaimed nothing", before, after)
+	}
+}
+
+// TestCloseDetectsLeakedIterator checks the leak accounting asserted at
+// Close: an unclosed iterator (a leaked SuperVersion pin) turns into a
+// Close error naming it.
+func TestCloseDetectsLeakedIterator(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatalf("NewIter: %v", err)
+	}
+	_ = it // leaked on purpose
+
+	err = db.Close()
+	if err == nil || !strings.Contains(err.Error(), "1 iterator(s)") {
+		t.Fatalf("Close with leaked iterator = %v, want leak error", err)
+	}
+}
+
+func TestCloseDetectsLeakedSnapshot(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	_ = db.NewSnapshot() // leaked on purpose
+
+	err := db.Close()
+	if err == nil || !strings.Contains(err.Error(), "1 snapshot(s)") {
+		t.Fatalf("Close with leaked snapshot = %v, want leak error", err)
+	}
+}
+
+func TestCloseCleanWithEverythingReleased(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatalf("NewIter: %v", err)
+	}
+	s := db.NewSnapshot()
+	s.Release()
+	if err := it.Close(); err != nil {
+		t.Fatalf("iter Close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestConcurrentReadsNeverSeeVanishedFiles is the tier-2 regression for
+// the race the SuperVersion refactor eliminates: with reads, scans,
+// flushes and manual compactions hammering the tree concurrently, no
+// read may ever surface vfs.ErrNotExist — the error the old read path
+// retried around when the obsolete-file sweep deleted an SST between
+// version lookup and table open.
+func TestConcurrentReadsNeverSeeVanishedFiles(t *testing.T) {
+	db, _ := newTestDB(t, func(o *Options) {
+		o.SyncWAL = false // keep the write side fast; durability is not under test
+	})
+	defer db.Close()
+
+	const keys = 400
+	for i := 0; i < keys; i++ {
+		if err := db.Put(testKey(i), testValue(i)); err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+	}
+
+	checkErr := func(op string, err error) {
+		if err == nil || err == ErrNotFound || errors.Is(err, ErrClosed) {
+			return
+		}
+		if errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("%s observed a vanished SST: %v", op, err)
+			return
+		}
+		t.Errorf("%s: %v", op, err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers keep churning the key space so flushes have material.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := testKey(i % keys)
+			err := db.Put(k, []byte(fmt.Sprintf("gen-%d", i)))
+			if err != nil && !errors.Is(err, ErrClosed) {
+				checkErr("Put", err)
+				return
+			}
+		}
+	}()
+
+	// Point readers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := db.Get(testKey((i*7 + g) % keys))
+				checkErr("Get", err)
+			}
+		}(g)
+	}
+
+	// Scanners.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it, err := db.NewIter()
+				if err != nil {
+					checkErr("NewIter", err)
+					return
+				}
+				for it.SeekToFirst(); it.Valid(); it.Next() {
+				}
+				checkErr("scan", it.Error())
+				checkErr("iter close", it.Close())
+			}
+		}()
+	}
+
+	// Flush/compaction churn — the file-deletion side of the race —
+	// bounds the run: readers and writers stop after its last round.
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; i < 8; i++ {
+			if err := db.Flush(); err != nil && !errors.Is(err, ErrClosed) {
+				checkErr("Flush", err)
+				return
+			}
+			if err := db.CompactRange(nil, nil); err != nil && !errors.Is(err, ErrClosed) {
+				checkErr("CompactRange", err)
+				return
+			}
+		}
+	}()
+
+	<-churnDone
+	close(stop)
+	wg.Wait()
+}

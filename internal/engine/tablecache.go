@@ -70,15 +70,19 @@ func (tc *tableCache) get(meta *manifest.FileMeta) (*sstable.Reader, error) {
 	return r, err
 }
 
-// evict forgets the reader for num (the file is being deleted) and
-// drops its cached blocks. The reader is NOT closed here: a concurrent
-// Get or iterator working from an older version snapshot may still be
-// probing it. The garbage collector reclaims the handle (vfs.OS file
-// descriptors carry a finalizer).
+// evict closes and forgets the reader for num and drops its cached
+// blocks. Eviction happens only when the file's last version reference
+// died (zombie sweep), so no reader snapshot can still be probing it —
+// every Get and iterator pins a SuperVersion whose version refs the
+// files it may touch.
 func (tc *tableCache) evict(num uint64) {
 	tc.mu.Lock()
+	r := tc.readers[num]
 	delete(tc.readers, num)
 	tc.mu.Unlock()
+	if r != nil {
+		r.Close()
+	}
 	if tc.blocks != nil {
 		tc.blocks.EvictFile(num)
 	}

@@ -557,6 +557,7 @@ func (db *DB) rotateMemtableLocked(reason string) error {
 	}
 	db.imms = append(db.imms, flushedMem{mem: db.mem, walNum: oldWALNum, maxSeq: db.lastSeq, reason: reason})
 	db.mem = memtable.New(db.memBudget)
+	db.installSuperVersionLocked("rotation")
 	db.bgCond.Broadcast() // wake the flush worker
 	return nil
 }

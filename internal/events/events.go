@@ -44,6 +44,9 @@ const (
 	KindRecoveryAttempt Kind = "error_recovery_attempt"
 	KindRecoverySuccess Kind = "error_recovery_success"
 	KindRecoveryGiveup  Kind = "error_recovery_giveup"
+
+	KindSuperVersionInstall Kind = "superversion_install"
+	KindObsoleteGC          Kind = "obsolete_gc"
 )
 
 // Event is the envelope written as one JSON line. Exactly one payload
@@ -66,6 +69,9 @@ type Event struct {
 	FSOp       *FSOp       `json:"fs_op,omitempty"`
 	BGError    *BGError    `json:"background_error,omitempty"`
 	Recovery   *Recovery   `json:"recovery,omitempty"`
+
+	SuperVersion *SuperVersion `json:"superversion,omitempty"`
+	ObsoleteGC   *ObsoleteGC   `json:"obsolete_gc,omitempty"`
 }
 
 // Flush describes a memtable flush (begin and end share the struct;
@@ -195,6 +201,24 @@ type Recovery struct {
 	Error string `json:"error,omitempty"`
 	// Health is the DB health after the event (success/giveup).
 	Health string `json:"health,omitempty"`
+}
+
+// SuperVersion records one read-path bundle swap: the engine published
+// a new {memtable, immutables, version} snapshot for readers to pin.
+type SuperVersion struct {
+	// Reason names the install trigger: "open", "rotation", "flush",
+	// "version-edit", or "recovery".
+	Reason string `json:"reason"`
+	// Immutables and L0Files describe the published bundle's shape.
+	Immutables int `json:"immutables"`
+	L0Files    int `json:"l0_files"`
+}
+
+// ObsoleteGC records one zombie sweep: SST files whose last version
+// reference died were deleted from disk.
+type ObsoleteGC struct {
+	Count int      `json:"count"`
+	Files []uint64 `json:"files,omitempty"`
 }
 
 // Listener receives events. Implementations must be safe for
@@ -405,6 +429,11 @@ func (e Event) String() string {
 	case KindRecoveryGiveup:
 		return fmt.Sprintf("%s recovery GIVEUP after attempt %d (op=%s): %s",
 			ts, e.Recovery.Attempt, e.Recovery.Op, e.Recovery.Error)
+	case KindSuperVersionInstall:
+		return fmt.Sprintf("%s superversion install (%s): imm=%d L0=%d",
+			ts, e.SuperVersion.Reason, e.SuperVersion.Immutables, e.SuperVersion.L0Files)
+	case KindObsoleteGC:
+		return fmt.Sprintf("%s obsolete gc: %d zombie SST(s) deleted", ts, e.ObsoleteGC.Count)
 	}
 	return fmt.Sprintf("%s %s", ts, e.Kind)
 }

@@ -1,0 +1,98 @@
+package manifest
+
+import (
+	"testing"
+
+	"xpointdb/internal/clock"
+	"xpointdb/internal/storage"
+	"xpointdb/internal/vfs"
+)
+
+// TestVersionRefsDriveZombies verifies the reference-driven deletion
+// protocol: a file deleted from the current version is not a zombie
+// while an older version still holds it (a pinned reader), and becomes
+// one exactly when that version's last reference drops.
+func TestVersionRefsDriveZombies(t *testing.T) {
+	fs := vfs.NewMem(storage.New(clock.Real{}, storage.Null()))
+	s, err := Create(fs)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	num := s.AllocFileNum()
+	add := &Edit{Added: []AddedFile{{Level: 0, Meta: &FileMeta{
+		Num: num, Size: 100, Smallest: []byte("a"), Largest: []byte("z"),
+	}}}}
+	if err := s.LogAndApply(add); err != nil {
+		t.Fatalf("LogAndApply add: %v", err)
+	}
+
+	// A reader pins the version holding the file.
+	pinned := s.Current()
+	pinned.Ref()
+
+	// Delete the file from the current version.
+	del := &Edit{Deleted: []DeletedFile{{Level: 0, Num: num}}}
+	if err := s.LogAndApply(del); err != nil {
+		t.Fatalf("LogAndApply delete: %v", err)
+	}
+
+	if z := s.TakeZombies(); len(z) != 0 {
+		t.Fatalf("TakeZombies = %v while a version still references file %d, want none", z, num)
+	}
+
+	// The pin drops: the file's last reference dies with it.
+	pinned.Unref()
+	z := s.TakeZombies()
+	if len(z) != 1 || z[0] != num {
+		t.Fatalf("TakeZombies after final Unref = %v, want [%d]", z, num)
+	}
+	// Exactly once: a second take finds nothing.
+	if z := s.TakeZombies(); len(z) != 0 {
+		t.Fatalf("second TakeZombies = %v, want none", z)
+	}
+}
+
+// TestSharedFilesSurviveInstall checks that installing a new current
+// version refs shared files before unreffing the old current, so a file
+// carried from one version to the next never transits through zero.
+func TestSharedFilesSurviveInstall(t *testing.T) {
+	fs := vfs.NewMem(storage.New(clock.Real{}, storage.Null()))
+	s, err := Create(fs)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	keep := s.AllocFileNum()
+	if err := s.LogAndApply(&Edit{Added: []AddedFile{{Level: 1, Meta: &FileMeta{
+		Num: keep, Size: 100, Smallest: []byte("a"), Largest: []byte("m"),
+	}}}}); err != nil {
+		t.Fatalf("LogAndApply: %v", err)
+	}
+
+	// Several unrelated edits: "keep" is shared across every install.
+	for i := 0; i < 3; i++ {
+		n := s.AllocFileNum()
+		if err := s.LogAndApply(&Edit{Added: []AddedFile{{Level: 0, Meta: &FileMeta{
+			Num: n, Size: 10, Smallest: []byte("n"), Largest: []byte("z"),
+		}}}}); err != nil {
+			t.Fatalf("LogAndApply %d: %v", i, err)
+		}
+	}
+
+	if z := s.TakeZombies(); len(z) != 0 {
+		t.Fatalf("TakeZombies = %v, want none: no file was deleted", z)
+	}
+	var found bool
+	for _, f := range s.Current().Files[1] {
+		if f.Num == keep {
+			found = true
+			if r := f.Refs(); r < 1 {
+				t.Fatalf("shared file refs = %d, want >= 1", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("file %d missing from current version", keep)
+	}
+}

@@ -5,14 +5,18 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"xpointdb/internal/vfs"
 	"xpointdb/internal/wal"
 )
 
-// Set owns the current Version and the MANIFEST log. It is not
-// concurrency-safe by itself; the engine serializes access under its
-// own mutex.
+// Set owns the current Version and the MANIFEST log. Manifest state
+// (current version, allocator fields, the log) is not concurrency-safe
+// by itself; the engine serializes access under its own mutex. The
+// version/file reference counts and the zombie list are the exception:
+// they are safe for concurrent use, because readers drop version
+// references from arbitrary goroutines.
 type Set struct {
 	fs vfs.FS
 
@@ -21,6 +25,11 @@ type Set struct {
 	manifestNum  uint64
 	manifestFile vfs.File
 	manifestLog  *wal.Writer
+
+	// zombieMu guards zombies. A file number is appended exactly once,
+	// by the release of the last version referencing it.
+	zombieMu sync.Mutex
+	zombies  []uint64
 
 	// NextFileNum is the next unallocated file number.
 	NextFileNum uint64
@@ -33,7 +42,8 @@ type Set struct {
 // Create initializes a brand-new database directory: an empty version,
 // MANIFEST-000001 and CURRENT.
 func Create(fs vfs.FS) (*Set, error) {
-	s := &Set{fs: fs, current: &Version{}, NextFileNum: 1}
+	s := &Set{fs: fs, NextFileNum: 1}
+	s.installCurrent(&Version{})
 	s.manifestNum = s.AllocFileNum()
 	f, err := fs.Create(ManifestName(s.manifestNum))
 	if err != nil {
@@ -75,7 +85,8 @@ func Recover(fs vfs.FS) (*Set, error) {
 		return nil, fmt.Errorf("manifest: CURRENT names %q, not a manifest", name)
 	}
 
-	s := &Set{fs: fs, current: &Version{}, NextFileNum: 1, manifestNum: num}
+	s := &Set{fs: fs, NextFileNum: 1, manifestNum: num}
+	s.installCurrent(&Version{})
 	mf, err := fs.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("manifest: open %s: %w", name, err)
@@ -182,6 +193,46 @@ func (s *Set) Roll() error {
 	return nil
 }
 
+// installCurrent makes nv the Set's current version. nv gains the
+// Set's reference and one file reference per file BEFORE the previous
+// current is unreferenced, so a file shared by both versions never
+// transiently reaches zero references (a false zombie would delete a
+// live SST).
+func (s *Set) installCurrent(nv *Version) {
+	nv.set = s
+	for l := range nv.Files {
+		for _, f := range nv.Files[l] {
+			f.refs.Add(1)
+		}
+	}
+	nv.Ref()
+	old := s.current
+	s.current = nv
+	if old != nil {
+		old.Unref()
+	}
+}
+
+// noteZombie records that file num is no longer referenced by any
+// version. Called by Version.release, possibly from a reader
+// goroutine.
+func (s *Set) noteZombie(num uint64) {
+	s.zombieMu.Lock()
+	s.zombies = append(s.zombies, num)
+	s.zombieMu.Unlock()
+}
+
+// TakeZombies drains and returns the file numbers whose last version
+// reference has dropped. Each number is returned exactly once; the
+// caller owns their deletion.
+func (s *Set) TakeZombies() []uint64 {
+	s.zombieMu.Lock()
+	z := s.zombies
+	s.zombies = nil
+	s.zombieMu.Unlock()
+	return z
+}
+
 // applyMeta applies an edit's allocator fields and file changes to the
 // in-memory state (used during replay and by LogAndApply).
 func (s *Set) applyMeta(edit *Edit) error {
@@ -189,7 +240,7 @@ func (s *Set) applyMeta(edit *Edit) error {
 	if err != nil {
 		return err
 	}
-	s.current = nv
+	s.installCurrent(nv)
 	if edit.NextFileNum != nil && *edit.NextFileNum > s.NextFileNum {
 		s.NextFileNum = *edit.NextFileNum
 	}
@@ -299,7 +350,9 @@ func (s *Set) Close() error {
 }
 
 // LiveFileNums returns the set of SST file numbers referenced by the
-// current version (for garbage collection of obsolete files).
+// current version. Runtime garbage collection is zombie-driven
+// (TakeZombies); this remains for the open-time orphan sweep, which
+// deletes directory leftovers from a crash before any reader exists.
 func (s *Set) LiveFileNums() map[uint64]bool {
 	live := make(map[uint64]bool)
 	for l := 0; l < NumLevels; l++ {

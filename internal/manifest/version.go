@@ -10,6 +10,7 @@ package manifest
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"xpointdb/internal/keys"
 )
@@ -27,7 +28,19 @@ type FileMeta struct {
 	// Smallest and Largest are the bounding internal keys.
 	Smallest []byte
 	Largest  []byte
+
+	// refs counts the versions currently holding this file. It is
+	// owned by the version lifecycle: each version installed by a Set
+	// adds one reference per file it contains, and releasing the last
+	// reference to a version drops them. When a file's count reaches
+	// zero it can no longer be reached by any reader and is reported
+	// to the Set's zombie list for deletion.
+	refs atomic.Int32
 }
+
+// Refs returns the number of versions referencing the file
+// (tests/diagnostics).
+func (f *FileMeta) Refs() int32 { return f.refs.Load() }
 
 // ContainsUserKey reports whether the file's key range may contain
 // userKey.
@@ -39,8 +52,61 @@ func (f *FileMeta) ContainsUserKey(userKey []byte) bool {
 // Version is an immutable snapshot of the file layout. Files[0] holds
 // the Level-0 files ordered oldest→newest (ascending file number);
 // levels 1+ are ordered by smallest key with disjoint ranges.
+//
+// Versions installed by a Set are refcounted: the Set itself holds one
+// reference for the current version, and readers (the engine's
+// SuperVersions, in-flight compactions) take additional references via
+// Ref/Unref. A version's files cannot be deleted while any reference
+// to a version containing them is live; when the last reference drops,
+// files that no newer version carries are reported to the Set's zombie
+// list, which is the sole trigger for SST deletion.
 type Version struct {
 	Files [NumLevels][]*FileMeta
+
+	// refs counts live references (Set's current pointer + readers).
+	refs atomic.Int32
+	// set is the owning Set, for zombie reporting on release; nil for
+	// free-standing versions built by tests, which are never
+	// refcounted.
+	set *Set
+}
+
+// Ref adds a reference to v. Callers must already hold a reference
+// (or the Set's serialization) — Ref never resurrects a released
+// version.
+func (v *Version) Ref() { v.refs.Add(1) }
+
+// Unref drops one reference; releasing the last one drops the file
+// references this version holds and reports newly-unreferenced files
+// as zombies. Safe to call from any goroutine.
+func (v *Version) Unref() {
+	n := v.refs.Add(-1)
+	if n == 0 {
+		v.release()
+	} else if n < 0 {
+		panic("manifest: Version refcount below zero")
+	}
+}
+
+// Refs returns the live reference count (tests/diagnostics).
+func (v *Version) Refs() int32 { return v.refs.Load() }
+
+// release drops this version's file references. Files whose count
+// reaches zero are unreachable by every current and pinned version and
+// become zombies.
+func (v *Version) release() {
+	for l := range v.Files {
+		for _, f := range v.Files[l] {
+			n := f.refs.Add(-1)
+			if n == 0 {
+				if v.set != nil {
+					v.set.noteZombie(f.Num)
+				}
+			} else if n < 0 {
+				panic("manifest: FileMeta refcount below zero")
+			}
+		}
+	}
 }
 
 // NumFiles returns the file count at level.

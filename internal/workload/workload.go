@@ -40,6 +40,14 @@ type Config struct {
 	// ratio (case study A's "flash of crowd": 25 s per minute at
 	// read:write 1:9).
 	Burst *BurstConfig
+	// ReadWorkers/WriteWorkers, when either is non-zero, replace the
+	// ratio-mixed worker pool with dedicated pools: ReadWorkers
+	// processes issue only Gets while WriteWorkers processes issue
+	// only Puts (Workers and ReadRatio are ignored). This is the
+	// read-while-writing mix used to isolate read-path latency under
+	// concurrent write load (dbbench -benchmarks mixed).
+	ReadWorkers  int
+	WriteWorkers int
 }
 
 // BurstConfig describes periodic write bursts.
@@ -119,6 +127,10 @@ func Preload(db KV, n, valueSize int) error {
 // and returns aggregated results. It must be called from a process of
 // clk (inside sim.Kernel.Run for virtual time).
 func Run(clk clock.Clock, db KV, cfg Config) *Result {
+	dedicated := cfg.ReadWorkers > 0 || cfg.WriteWorkers > 0
+	if dedicated {
+		cfg.Workers = cfg.ReadWorkers + cfg.WriteWorkers
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -158,6 +170,13 @@ func Run(clk clock.Clock, db KV, cfg Config) *Result {
 					break
 				}
 				readRatio := cfg.ReadRatio
+				if dedicated {
+					if w < cfg.ReadWorkers {
+						readRatio = 1
+					} else {
+						readRatio = 0
+					}
+				}
 				if b := cfg.Burst; b != nil {
 					phase := now.Sub(start) % b.Period
 					if phase < b.BurstLen {
