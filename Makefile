@@ -20,22 +20,25 @@ tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
 
 # Tier-3: crash-consistency and robustness. Runs the seeded torture
-# harness in both modes — crash (random workload + fault injection +
-# crash at a random fs-op boundary + reopen + durability-contract
-# verification) and transient (faults heal; the engine must auto-
-# recover on the same handle with zero acked-write loss). Failing
+# harness in all three modes — crash (random workload + fault
+# injection + crash at a random fs-op boundary + reopen +
+# durability-contract verification), transient (faults heal; the
+# engine must auto-recover on the same handle with zero acked-write
+# loss), and bitrot (silent bit flips on SST reads; every corruption
+# must be detected and repaired or reported, never served). Failing
 # seeds are printed and reproducible with `go run ./cmd/torture
-# -seed N [-transient]`. Also runs a bounded pass of every native
-# fuzz target over the committed corpora (regenerate with
+# -seed N [-transient|-bitrot]`. Also runs a bounded pass of every
+# native fuzz target over the committed corpora (regenerate with
 # `go run ./cmd/genfuzzcorpus`).
 tier3:
-	$(GO) test ./internal/engine -run 'TestTorture(CrashRecovery|TransientRecovery)' -count=1 \
+	$(GO) test ./internal/engine -run 'TestTorture(CrashRecovery|TransientRecovery|BitrotRecovery)' -count=1 \
 		-args -torture.iters=$(TORTURE_ITERS)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReadRecord$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWriterReaderRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sstable -run '^$$' -fuzz '^FuzzBlockIter$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sstable -run '^$$' -fuzz '^FuzzTableReader$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/batch -run '^$$' -fuzz '^FuzzFromRepr$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/manifest -run '^$$' -fuzz '^FuzzDecodeEdit$$' -fuzztime $(FUZZTIME)
 
 # A quick mixed-workload sanity run on the simulated 3D XPoint device:
 # concurrent reader and writer pools against one store, the shape the

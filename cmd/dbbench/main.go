@@ -50,6 +50,8 @@ func main() {
 		statsIntv  = flag.Duration("statsinterval", 0, "periodic stats dump interval in engine-clock time (0 disables); dumps go to stderr")
 		eventLog   = flag.String("eventlog", "", "write the structured engine event stream (JSON lines) to this file")
 		perf       = flag.Bool("perf", false, "collect per-operation stage timings (PerfContext histograms)")
+		scrub      = flag.Bool("scrub", true, "run the background checksum scrubber during the benchmark (-scrub=false disables; rate via -scrub_rate)")
+		scrubRate  = flag.Int64("scrub_rate", 0, "scrubber budget in bytes/sec (0 = engine default)")
 		faultProb  = flag.Float64("faultprob", 0, "inject WAL sync failures with this probability (simulated device only); exercises error recovery under load")
 		faultHeal  = flag.Duration("faultheal", 0, "heal the injected fault this long (engine-clock time) after it first matches (0 = faults persist for the whole run)")
 	)
@@ -92,6 +94,10 @@ func main() {
 		o.PipelinedWrites = *pipelined
 		o.ThrottleMode = mode
 		o.CollectPerf = *perf
+		o.DisableScrub = !*scrub
+		if *scrubRate > 0 {
+			o.ScrubBytesPerSec = *scrubRate
+		}
 		if evLog != nil {
 			o.EventListener = evLog
 		}
@@ -282,4 +288,8 @@ func printResult(res *workload.Result, m *engine.Metrics) {
 	fmt.Printf("read path      : mem %d, imm %d, L0 %d, deep %d, miss %d; L0 probes %d, bloom skips %d\n",
 		m.GetHitMemtable.Load(), m.GetHitImmutable.Load(), m.GetHitL0.Load(),
 		m.GetHitDeep.Load(), m.GetMisses.Load(), m.L0TablesProbed.Load(), m.BloomSkips.Load())
+	if m.ScrubPasses.Load()+m.ScrubbedBytes.Load() > 0 {
+		fmt.Printf("scrub          : %d passes, %d B verified, %d corruptions detected\n",
+			m.ScrubPasses.Load(), m.ScrubbedBytes.Load(), m.CorruptionsDetected.Load())
+	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"xpointdb/internal/batch"
 	"xpointdb/internal/keys"
+	"xpointdb/internal/manifest"
 	"xpointdb/internal/sstable"
 	"xpointdb/internal/wal"
 )
@@ -158,6 +159,37 @@ func main() {
 	overflow := append([]byte(nil), blk...)
 	overflow[0] = 0xff // huge varint prefix on the first entry
 	writeCorpus(dir, "varint_overflow", lit(overflow))
+
+	// MANIFEST version-edit records.
+	dir = "internal/manifest/testdata/fuzz/FuzzDecodeEdit"
+	ln, nf, ls := uint64(7), uint64(42), uint64(1<<40)
+	full := &manifest.Edit{
+		LogNum: &ln, NextFileNum: &nf, LastSeq: &ls,
+		Added: []manifest.AddedFile{{Level: 1, Meta: &manifest.FileMeta{
+			Num: 9, Size: 4096, Checksum: 0xdeadbeef,
+			Smallest: []byte("aaa"), Largest: []byte("zzz"),
+		}}},
+		Deleted:     []manifest.DeletedFile{{Level: 2, Num: 5}},
+		Quarantined: []manifest.QuarantinedFile{{Level: 3, Num: 6}},
+	}
+	enc := full.Encode()
+	writeCorpus(dir, "valid_full", lit(enc))
+	// Legacy added-file record (tag 4, no file checksum): the encoder
+	// no longer emits it, so build one by hand to pin decoder compat.
+	var legacy []byte
+	legacy = binary.AppendUvarint(legacy, 4) // tagAddedFile
+	legacy = binary.AppendUvarint(legacy, 1) // level
+	legacy = binary.AppendUvarint(legacy, 9) // num
+	legacy = binary.AppendUvarint(legacy, 4096)
+	legacy = binary.AppendUvarint(legacy, 3)
+	legacy = append(legacy, "aaa"...)
+	legacy = binary.AppendUvarint(legacy, 3)
+	legacy = append(legacy, "zzz"...)
+	writeCorpus(dir, "legacy_tag4_added", lit(legacy))
+	writeCorpus(dir, "truncated_varint", lit(enc[:len(enc)-2]))
+	badLevel := append([]byte(nil), enc...)
+	writeCorpus(dir, "bit_damage", lit(append(badLevel[:1], badLevel[2:]...)))
+	writeCorpus(dir, "unknown_tag", lit([]byte{0xf0, 0x01, 0x02}))
 
 	// Batch wire format.
 	dir = "internal/batch/testdata/fuzz/FuzzFromRepr"

@@ -26,6 +26,8 @@ func main() {
 		keys      = flag.Int("keys", 0, "key-universe size (0 = default)")
 		transient = flag.Bool("transient", false,
 			"transient-fault mode: faults heal and the engine must auto-recover on the same handle (no crash/reopen)")
+		bitrot = flag.Bool("bitrot", false,
+			"silent-corruption mode: bit flips on SST reads; every corruption must be detected and repaired or reported, never served")
 		verbose = flag.Bool("v", false, "log per-iteration progress")
 	)
 	flag.Parse()
@@ -34,7 +36,7 @@ func main() {
 	failed := 0
 	for i := 0; i < *iters; i++ {
 		s := *seed + int64(i)
-		cfg := torture.Config{Seed: s, Ops: *ops, Keys: *keys, Transient: *transient}
+		cfg := torture.Config{Seed: s, Ops: *ops, Keys: *keys, Transient: *transient, Bitrot: *bitrot}
 		if *verbose {
 			cfg.Logf = func(format string, args ...interface{}) {
 				log.Printf("  seed %d: "+format, append([]interface{}{s}, args...)...)
@@ -46,6 +48,9 @@ func main() {
 			repro := fmt.Sprintf("go run ./cmd/torture -seed %d", s)
 			if *transient {
 				repro += " -transient"
+			}
+			if *bitrot {
+				repro += " -bitrot"
 			}
 			fmt.Fprintf(os.Stderr, "reproduce with: %s\n", repro)
 		} else if *verbose {

@@ -8,6 +8,7 @@ import (
 	"xpointdb/internal/keys"
 	"xpointdb/internal/manifest"
 	"xpointdb/internal/sstable"
+	"xpointdb/internal/vfs"
 )
 
 // compaction describes one picked compaction.
@@ -23,6 +24,10 @@ type compaction struct {
 	// snaps holds the live snapshot boundaries (ascending) at pick
 	// time; the merge keeps the newest version per stripe.
 	snaps []uint64
+	// recovery marks a repair compaction run by the recovery worker
+	// while the corruption latch is set: its version edit commits with
+	// the fail-fast bypass.
+	recovery bool
 }
 
 // targetLevelBytes returns the size target for a level ≥ 1.
@@ -146,6 +151,14 @@ func (db *DB) compactWorker() {
 			stats.entries, db.clk.Now().Sub(compStart), err)
 		c.base.Unref()
 
+		if err != nil {
+			// A checksum failure in a live input is not retryable in
+			// place — the file is damaged. Route it to the
+			// quarantine/repair path (latches the corruption error)
+			// before the generic soft-error note below.
+			db.maybeReportCorruption(err)
+		}
+
 		db.mu.Lock()
 		db.compacting = false
 		if err != nil {
@@ -225,10 +238,7 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 	var (
 		outputs     []*manifest.FileMeta
 		builder     *sstable.Builder
-		builderFile interface {
-			Sync() error
-			Close() error
-		}
+		builderFile vfs.File
 		curNum      uint64
 		entries     int
 		lastUserKey []byte
@@ -269,6 +279,11 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 		if err := builderFile.Sync(); err != nil {
 			return err
 		}
+		if db.opts.ParanoidFileChecks {
+			if err := db.paranoidVerify(builderFile, size, curNum, builder.Checksum()); err != nil {
+				return err
+			}
+		}
 		if err := builderFile.Close(); err != nil {
 			return err
 		}
@@ -277,6 +292,7 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 			Size:     size,
 			Smallest: builder.Smallest(),
 			Largest:  builder.Largest(),
+			Checksum: builder.Checksum(),
 		})
 		writtenByte += size
 		builder = nil
@@ -372,7 +388,7 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 	stats.written = writtenByte
 	stats.outputs = len(outputs)
 	stats.entries = int64(entries)
-	if err := db.commitEdit(edit); err != nil {
+	if err := db.commitEditWith(edit, c.recovery); err != nil {
 		return stats, err
 	}
 	db.metrics.CompactionBytesRead.Add(readBytes)

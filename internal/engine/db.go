@@ -39,6 +39,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xpointdb/internal/cache"
 	"xpointdb/internal/clock"
@@ -134,6 +135,10 @@ type DB struct {
 	liveWorkers   int
 	memBudget     int64 // current memtable size target (adaptive L0)
 
+	// scrubDebt is the scrubber's accumulated pacing time owed; only
+	// the scrub worker touches it (scrub.go).
+	scrubDebt time.Duration
+
 	// Error-handler state (errorhandler.go, recovery.go). bgErr is the
 	// latched background error (nil = healthy); once latched it is
 	// always a *BackgroundError and bgSeverity mirrors its severity.
@@ -228,6 +233,12 @@ func Open(opts Options) (*DB, error) {
 		db.liveWorkers++
 		db.mu.Unlock()
 		clk.Go("recovery-worker", db.recoveryWorker)
+	}
+	if !opts.DisableScrub {
+		db.mu.Lock()
+		db.liveWorkers++
+		db.mu.Unlock()
+		clk.Go("scrub-worker", db.scrubWorker)
 	}
 
 	db.mu.Lock()

@@ -159,6 +159,7 @@ const (
 	opManifestInstall = "manifest-install"
 	opFlush           = "flush"
 	opCompaction      = "compaction"
+	opCorruption      = "corruption"
 )
 
 // classifySeverity is the op→severity table. The reasoning per row:
@@ -183,6 +184,12 @@ const (
 //	flush             soft   the immutable stays queued and the flush
 //	                         worker retries; nothing acked is lost.
 //	compaction        soft   inputs remain live; the picker retries.
+//	corruption        hard   a checksum failure in a live SST: writes
+//	                         latch while the recovery worker
+//	                         quarantines the file and repairs by
+//	                         re-compaction (or declares precise data
+//	                         loss); reads of undamaged ranges keep
+//	                         working throughout.
 //
 // Disk-full (ENOSPC) on the hard rows stays hard: space can be freed,
 // and the recovery worker's backoff keeps probing until it is.
@@ -191,7 +198,7 @@ func classifySeverity(op string, err error) Severity {
 	switch op {
 	case opFlush, opCompaction, opWALRotateCreate:
 		return SeveritySoft
-	case opWALAppend, opWALSync, opWALRotateSync, opManifestAppend:
+	case opWALAppend, opWALSync, opWALRotateSync, opManifestAppend, opCorruption:
 		return SeverityHard
 	case opManifestInstall:
 		return SeverityFatal
@@ -210,9 +217,10 @@ func isDiskFull(err error) bool {
 type recoveryCategory int
 
 const (
-	catNone recoveryCategory = iota
-	catWAL                   // swap in a fresh WAL, flush the memtables it covered
-	catManifest              // roll the MANIFEST to a fresh snapshot file
+	catNone       recoveryCategory = iota
+	catWAL                         // swap in a fresh WAL, flush the memtables it covered
+	catManifest                    // roll the MANIFEST to a fresh snapshot file
+	catCorruption                  // quarantine the damaged SST, repair or declare loss
 )
 
 func categoryOf(op string) recoveryCategory {
@@ -221,6 +229,8 @@ func categoryOf(op string) recoveryCategory {
 		return catWAL
 	case opManifestAppend:
 		return catManifest
+	case opCorruption:
+		return catCorruption
 	}
 	return catNone
 }

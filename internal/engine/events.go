@@ -160,6 +160,24 @@ func (db *DB) emitSuperVersionInstall(reason string, immutables, l0Files int) {
 	})
 }
 
+// emitScrub records one scrubber pass boundary (begin/complete); see
+// scrub.go for the worker.
+func (db *DB) emitScrub(kind events.Kind, s *events.Scrub) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: kind, Scrub: s})
+}
+
+// emitIntegrity records one corruption-handling step on a file: scrub
+// detection, quarantine, repair, or data loss (repair.go, scrub.go).
+func (db *DB) emitIntegrity(kind events.Kind, in *events.Integrity) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: kind, Integrity: in})
+}
+
 // emitObsoleteGC records one zombie sweep: SSTs whose last version
 // reference died and were deleted from disk.
 func (db *DB) emitObsoleteGC(files []uint64) {

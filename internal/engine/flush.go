@@ -166,6 +166,12 @@ func (db *DB) buildTable(num uint64, src iterator.Iterator) (*manifest.FileMeta,
 		f.Close()
 		return nil, err
 	}
+	if db.opts.ParanoidFileChecks {
+		if err := db.paranoidVerify(f, size, num, b.Checksum()); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
@@ -177,6 +183,7 @@ func (db *DB) buildTable(num uint64, src iterator.Iterator) (*manifest.FileMeta,
 		Size:     size,
 		Smallest: b.Smallest(),
 		Largest:  b.Largest(),
+		Checksum: b.Checksum(),
 	}, nil
 }
 

@@ -77,6 +77,23 @@ type Metrics struct {
 	RecoverySuccesses atomic.Int64
 	RecoveryGiveups   atomic.Int64
 
+	// Integrity accounting (scrub.go, integrity.go, repair.go).
+	// ScrubbedBytes counts bytes the background scrubber read and
+	// verified; ScrubPasses counts completed full cycles over the live
+	// file set. CorruptionsDetected counts every checksum failure
+	// observed (read path, scrub, paranoid verify, or explicit
+	// verification — re-detections of the same damage each count).
+	// FilesQuarantined counts files marked damaged in the manifest;
+	// CorruptionsRepaired counts quarantined files replaced by a repair
+	// compaction with zero loss; DataLossEvents counts files dropped
+	// with a data_loss event after salvage failed.
+	ScrubbedBytes       atomic.Int64
+	ScrubPasses         atomic.Int64
+	CorruptionsDetected atomic.Int64
+	FilesQuarantined    atomic.Int64
+	CorruptionsRepaired atomic.Int64
+	DataLossEvents      atomic.Int64
+
 	// Per-stage latency histograms, populated from PerfContext when
 	// Options.CollectPerf is on (or a caller passes a context in).
 	// Only operations that exercised a stage are recorded in that

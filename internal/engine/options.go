@@ -124,6 +124,21 @@ type Options struct {
 	// timing adds a few clock reads per operation.
 	CollectPerf bool
 
+	// ScrubBytesPerSec paces the background scrubber, which continuously
+	// re-reads live SSTs — bypassing the block cache — and verifies the
+	// whole-file checksum plus every block CRC. Default 8 MiB/s; the
+	// budget covers all scrub I/O, so foreground impact stays bounded.
+	ScrubBytesPerSec int64
+	// DisableScrub turns the background scrubber off. Corruption is
+	// then detected only when a read, compaction, or paranoid check
+	// happens to touch a damaged block.
+	DisableScrub bool
+	// ParanoidFileChecks re-reads and fully verifies every flush and
+	// compaction output before its version edit installs (RocksDB's
+	// paranoid_file_checks). Off by default: it re-reads every written
+	// byte.
+	ParanoidFileChecks bool
+
 	// DisableAutoRecovery turns off the background recovery worker:
 	// hard background errors stay latched until a manual Resume (or a
 	// reopen), matching the pre-recovery engine. Soft-error in-place
@@ -177,6 +192,7 @@ func DefaultOptions(fs vfs.FS) Options {
 		MaxBatchGroupBytes:  1 << 20,
 		ThrottleMode:        throttle.ModeAlgorithm1,
 		DelayedWriteRate:    16 << 20,
+		ScrubBytesPerSec:    8 << 20,
 
 		AdaptiveL0Aggregate:    96 << 20,
 		AdaptiveL0ManyFiles:    24,
@@ -254,6 +270,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRecoveryAttempts <= 0 {
 		o.MaxRecoveryAttempts = d.MaxRecoveryAttempts
+	}
+	if o.ScrubBytesPerSec <= 0 {
+		o.ScrubBytesPerSec = d.ScrubBytesPerSec
 	}
 	return o
 }

@@ -186,6 +186,9 @@ func (db *DB) getFromVersion(v *manifest.Version, key []byte, snap uint64, pc *P
 func (db *DB) probeTable(f *manifest.FileMeta, key, search []byte, hitCounter interface{ Add(int64) int64 }, pc *PerfContext) (val []byte, ok bool, err error) {
 	r, err := db.tables.get(f)
 	if err != nil {
+		// Opening the table may itself hit corruption (footer, index or
+		// filter block damage).
+		db.maybeReportCorruption(err)
 		return nil, false, err
 	}
 	if db.cost != nil {
@@ -222,8 +225,15 @@ func (db *DB) probeTable(f *manifest.FileMeta, key, search []byte, hitCounter in
 	if db.cost != nil {
 		db.cost.ChargeCompares(db.clk, st.Cmps)
 	}
-	if err != nil || !found {
+	if err != nil {
+		// A checksum failure detected on the read path: the read still
+		// fails (never serve unverified bytes), but the damage also
+		// routes to the quarantine/repair machinery.
+		db.maybeReportCorruption(err)
 		return nil, false, err
+	}
+	if !found {
+		return nil, false, nil
 	}
 	if !bytes.Equal(keys.UserKey(ikey), key) {
 		return nil, false, nil

@@ -162,6 +162,8 @@ func (db *DB) recoverOnce(be *BackgroundError) error {
 		err = db.recoverWAL()
 	case catManifest:
 		err = db.recoverManifest()
+	case catCorruption:
+		err = db.recoverCorruption(be)
 	default:
 		return fmt.Errorf("engine: no recovery procedure for %q", be.Op)
 	}

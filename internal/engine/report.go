@@ -59,6 +59,13 @@ type MetricsSnapshot struct {
 	RecoverySuccesses int64
 	RecoveryGiveups   int64
 
+	ScrubbedBytes       int64
+	ScrubPasses         int64
+	CorruptionsDetected int64
+	FilesQuarantined    int64
+	CorruptionsRepaired int64
+	DataLossEvents      int64
+
 	PerfWriteOps int64
 	PerfReadOps  int64
 }
@@ -113,6 +120,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RecoverySuccesses: m.RecoverySuccesses.Load(),
 		RecoveryGiveups:   m.RecoveryGiveups.Load(),
 
+		ScrubbedBytes:       m.ScrubbedBytes.Load(),
+		ScrubPasses:         m.ScrubPasses.Load(),
+		CorruptionsDetected: m.CorruptionsDetected.Load(),
+		FilesQuarantined:    m.FilesQuarantined.Load(),
+		CorruptionsRepaired: m.CorruptionsRepaired.Load(),
+		DataLossEvents:      m.DataLossEvents.Load(),
+
 		PerfWriteOps: m.PerfWriteOps.Load(),
 		PerfReadOps:  m.PerfReadOps.Load(),
 	}
@@ -142,6 +156,13 @@ func (m *Metrics) Report() string {
 	if s.SoftErrors > 0 || s.HardErrors > 0 || s.RecoveryAttempts > 0 {
 		fmt.Fprintf(&b, "bg errors      : %d soft, %d hard; recovery %d attempts, %d recovered, %d gave up\n",
 			s.SoftErrors, s.HardErrors, s.RecoveryAttempts, s.RecoverySuccesses, s.RecoveryGiveups)
+	}
+	if s.ScrubPasses > 0 || s.ScrubbedBytes > 0 {
+		fmt.Fprintf(&b, "scrub          : %d passes, %d B verified\n", s.ScrubPasses, s.ScrubbedBytes)
+	}
+	if s.CorruptionsDetected > 0 {
+		fmt.Fprintf(&b, "integrity      : %d corruptions detected, %d quarantined, %d repaired, %d data-loss events\n",
+			s.CorruptionsDetected, s.FilesQuarantined, s.CorruptionsRepaired, s.DataLossEvents)
 	}
 
 	if s.PerfWriteOps > 0 {

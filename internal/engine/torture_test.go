@@ -57,3 +57,26 @@ func TestTortureTransientRecovery(t *testing.T) {
 		}
 	}
 }
+
+// TestTortureBitrotRecovery runs the silent-corruption torture mode:
+// seeded bit flips on SST reads (transient hiccups or persistent media
+// rot), and the integrity machinery must never serve silently wrong
+// bytes — every corruption is detected by a checksum and either
+// repaired or declared as bounded data loss, after which the same
+// handle returns to Healthy and keeps accepting writes. On failure,
+// reproduce with `go run ./cmd/torture -seed N -bitrot`.
+func TestTortureBitrotRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture harness skipped in -short mode")
+	}
+	for i := 0; i < *tortureIters; i++ {
+		seed := *tortureSeed + int64(i)
+		cfg := torture.Config{Seed: seed, Ops: *tortureOps, Bitrot: true}
+		if testing.Verbose() {
+			cfg.Logf = t.Logf
+		}
+		if err := torture.Run(cfg); err != nil {
+			t.Fatalf("%v\n\nreproduce with: go run ./cmd/torture -seed %d -bitrot", err, seed)
+		}
+	}
+}

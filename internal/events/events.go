@@ -47,6 +47,13 @@ const (
 
 	KindSuperVersionInstall Kind = "superversion_install"
 	KindObsoleteGC          Kind = "obsolete_gc"
+
+	KindScrubBegin      Kind = "scrub_begin"
+	KindScrubCorruption Kind = "scrub_corruption"
+	KindScrubComplete   Kind = "scrub_complete"
+	KindQuarantine      Kind = "corruption_quarantine"
+	KindRepair          Kind = "corruption_repair"
+	KindDataLoss        Kind = "data_loss"
 )
 
 // Event is the envelope written as one JSON line. Exactly one payload
@@ -72,6 +79,9 @@ type Event struct {
 
 	SuperVersion *SuperVersion `json:"superversion,omitempty"`
 	ObsoleteGC   *ObsoleteGC   `json:"obsolete_gc,omitempty"`
+
+	Scrub     *Scrub     `json:"scrub,omitempty"`
+	Integrity *Integrity `json:"integrity,omitempty"`
 }
 
 // Flush describes a memtable flush (begin and end share the struct;
@@ -219,6 +229,38 @@ type SuperVersion struct {
 type ObsoleteGC struct {
 	Count int      `json:"count"`
 	Files []uint64 `json:"files,omitempty"`
+}
+
+// Scrub describes one background-scrubber pass over the live file set
+// (begin/complete pair). Complete fills in the coverage fields.
+type Scrub struct {
+	// Pass numbers the full cycles since open, starting at 1.
+	Pass int `json:"pass"`
+	// Files and Bytes are the pass's coverage: files verified and bytes
+	// read (whole-file stream plus per-block re-reads).
+	Files int   `json:"files,omitempty"`
+	Bytes int64 `json:"bytes,omitempty"`
+	// Corruptions counts checksum failures this pass surfaced.
+	Corruptions int `json:"corruptions,omitempty"`
+}
+
+// Integrity describes one corruption-handling step on a specific file:
+// a scrub detection (scrub_corruption), the quarantine mark
+// (corruption_quarantine), a successful repair compaction
+// (corruption_repair), or a data-loss declaration (data_loss) with the
+// affected key range.
+type Integrity struct {
+	// FileNum is the damaged SST.
+	FileNum uint64 `json:"file"`
+	// Level is the file's level at the time of the event (-1 when the
+	// file is no longer in the live tree).
+	Level int `json:"level"`
+	// Smallest and Largest bound the file's user-key range — for a
+	// data_loss event, the precise range whose data may be gone.
+	Smallest string `json:"smallest,omitempty"`
+	Largest  string `json:"largest,omitempty"`
+	// Detail carries the underlying corruption error.
+	Detail string `json:"detail,omitempty"`
 }
 
 // Listener receives events. Implementations must be safe for
@@ -434,6 +476,25 @@ func (e Event) String() string {
 			ts, e.SuperVersion.Reason, e.SuperVersion.Immutables, e.SuperVersion.L0Files)
 	case KindObsoleteGC:
 		return fmt.Sprintf("%s obsolete gc: %d zombie SST(s) deleted", ts, e.ObsoleteGC.Count)
+	case KindScrubBegin:
+		return fmt.Sprintf("%s scrub pass %d begin", ts, e.Scrub.Pass)
+	case KindScrubComplete:
+		return fmt.Sprintf("%s scrub pass %d complete: %d file(s) %dB verified, %d corruption(s)",
+			ts, e.Scrub.Pass, e.Scrub.Files, e.Scrub.Bytes, e.Scrub.Corruptions)
+	case KindScrubCorruption:
+		return fmt.Sprintf("%s scrub CORRUPTION: sst=%d L%d: %s",
+			ts, e.Integrity.FileNum, e.Integrity.Level, e.Integrity.Detail)
+	case KindQuarantine:
+		return fmt.Sprintf("%s quarantine: sst=%d L%d [%s, %s]: %s",
+			ts, e.Integrity.FileNum, e.Integrity.Level, e.Integrity.Smallest,
+			e.Integrity.Largest, e.Integrity.Detail)
+	case KindRepair:
+		return fmt.Sprintf("%s repair: sst=%d L%d re-compacted, no loss",
+			ts, e.Integrity.FileNum, e.Integrity.Level)
+	case KindDataLoss:
+		return fmt.Sprintf("%s DATA LOSS: sst=%d L%d dropped, keys [%s, %s] affected: %s",
+			ts, e.Integrity.FileNum, e.Integrity.Level, e.Integrity.Smallest,
+			e.Integrity.Largest, e.Integrity.Detail)
 	}
 	return fmt.Sprintf("%s %s", ts, e.Kind)
 }

@@ -87,6 +87,16 @@ type Fault struct {
 	Err error
 	// Torn makes a failing write persist a random prefix first.
 	Torn bool
+	// Bitrot applies to OpReadAt: the read SUCCEEDS but one
+	// seeded-random bit of the returned buffer is flipped, restricted
+	// to bytes the file had synced — the silent media-error model
+	// (acknowledged-durable data rots), as opposed to Torn, which
+	// corrupts only the unsynced crash tail. The underlying file is
+	// untouched: rot is per-read, so a retry after the rule heals sees
+	// clean bytes, modeling a transient controller/DMA error; a rule
+	// with no transient bounds models a rotten region. Bitrot ignores
+	// Err and Torn.
+	Bitrot bool
 	// Latency delays the operation on the filesystem's clock.
 	Latency time.Duration
 }
@@ -620,15 +630,41 @@ func (h *file) ReadAt(p []byte, off int64) (int, error) {
 	start := h.fs.now()
 	ft := h.fs.begin(OpReadAt, h.name)
 	h.fs.applyLatency(ft)
-	if ft != nil {
+	if ft != nil && !ft.Bitrot {
 		if err := faultErr(ft); err != nil {
 			h.fs.emit(OpReadAt, h.name, len(p), start, err, true)
 			return 0, err
 		}
 	}
 	n, err := h.inner.ReadAt(p, off)
+	if ft != nil && ft.Bitrot && n > 0 {
+		h.fs.bitrot(h.name, p[:n], off)
+	}
 	h.fs.emit(OpReadAt, h.name, len(p), start, err, ft != nil)
 	return n, err
+}
+
+// bitrot flips one seeded-random bit of the buffer just read, within
+// the portion of [off, off+len(p)) the file had synced. Synced bytes
+// are exactly the ones a media error can silently rot: unsynced bytes
+// are already covered by the crash model (Materialize's torn tail). A
+// read window holding no synced bytes is returned intact.
+func (f *FS) bitrot(name string, p []byte, off int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	syncedEnd := int64(0)
+	if sh, ok := f.shadows[name]; ok {
+		syncedEnd = int64(sh.synced)
+	}
+	n := syncedEnd - off
+	if n > int64(len(p)) {
+		n = int64(len(p))
+	}
+	if n <= 0 {
+		return
+	}
+	bit := f.rng.Intn(int(n) * 8)
+	p[bit/8] ^= 1 << (bit % 8)
 }
 
 func (h *file) Sync() error {

@@ -18,6 +18,9 @@ type Edit struct {
 	// Added and Deleted list SST changes.
 	Added   []AddedFile
 	Deleted []DeletedFile
+	// Quarantined marks files in which corruption was detected; the
+	// mark survives manifest replay so repair can resume after reopen.
+	Quarantined []QuarantinedFile
 }
 
 // AddedFile places Meta at Level.
@@ -32,13 +35,24 @@ type DeletedFile struct {
 	Num   uint64
 }
 
+// QuarantinedFile marks file Num at Level as damaged.
+type QuarantinedFile struct {
+	Level int
+	Num   uint64
+}
+
 // Field tags of the MANIFEST record encoding.
 const (
 	tagLogNum      = 1
 	tagNextFileNum = 2
 	tagLastSeq     = 3
-	tagAddedFile   = 4
+	tagAddedFile   = 4 // legacy: added file without a file checksum
 	tagDeletedFile = 5
+	// tagAddedFileChecksum supersedes tagAddedFile: same fields plus the
+	// whole-file CRC-32C. The encoder always emits this form; the
+	// decoder accepts both so pre-checksum manifests still replay.
+	tagAddedFileChecksum = 6
+	tagQuarantinedFile   = 7
 )
 
 // Encode serializes the edit as a MANIFEST record payload.
@@ -58,10 +72,11 @@ func (e *Edit) Encode() []byte {
 		put(tagLastSeq, *e.LastSeq)
 	}
 	for _, a := range e.Added {
-		b = binary.AppendUvarint(b, tagAddedFile)
+		b = binary.AppendUvarint(b, tagAddedFileChecksum)
 		b = binary.AppendUvarint(b, uint64(a.Level))
 		b = binary.AppendUvarint(b, a.Meta.Num)
 		b = binary.AppendUvarint(b, uint64(a.Meta.Size))
+		b = binary.AppendUvarint(b, uint64(a.Meta.Checksum))
 		b = appendBytes(b, a.Meta.Smallest)
 		b = appendBytes(b, a.Meta.Largest)
 	}
@@ -69,6 +84,11 @@ func (e *Edit) Encode() []byte {
 		b = binary.AppendUvarint(b, tagDeletedFile)
 		b = binary.AppendUvarint(b, uint64(d.Level))
 		b = binary.AppendUvarint(b, d.Num)
+	}
+	for _, q := range e.Quarantined {
+		b = binary.AppendUvarint(b, tagQuarantinedFile)
+		b = binary.AppendUvarint(b, uint64(q.Level))
+		b = binary.AppendUvarint(b, q.Num)
 	}
 	return b
 }
@@ -89,11 +109,14 @@ func DecodeEdit(p []byte) (*Edit, error) {
 		case tagLastSeq:
 			v := d.uvarint()
 			e.LastSeq = &v
-		case tagAddedFile:
+		case tagAddedFile, tagAddedFileChecksum:
 			level := int(d.uvarint())
 			meta := &FileMeta{
 				Num:  d.uvarint(),
 				Size: int64(d.uvarint()),
+			}
+			if tag == tagAddedFileChecksum {
+				meta.Checksum = uint32(d.uvarint())
 			}
 			meta.Smallest = d.bytes()
 			meta.Largest = d.bytes()
@@ -101,6 +124,13 @@ func DecodeEdit(p []byte) (*Edit, error) {
 				return nil, fmt.Errorf("manifest: added file at invalid level %d", level)
 			}
 			e.Added = append(e.Added, AddedFile{Level: level, Meta: meta})
+		case tagQuarantinedFile:
+			level := int(d.uvarint())
+			num := d.uvarint()
+			if level < 0 || level >= NumLevels {
+				return nil, fmt.Errorf("manifest: quarantined file at invalid level %d", level)
+			}
+			e.Quarantined = append(e.Quarantined, QuarantinedFile{Level: level, Num: num})
 		case tagDeletedFile:
 			level := int(d.uvarint())
 			num := d.uvarint()

@@ -151,6 +151,9 @@ func (s *Set) rollManifest() error {
 	for l := 0; l < NumLevels; l++ {
 		for _, fm := range s.current.Files[l] {
 			edit.Added = append(edit.Added, AddedFile{Level: l, Meta: fm})
+			if fm.Quarantined() {
+				edit.Quarantined = append(edit.Quarantined, QuarantinedFile{Level: l, Num: fm.Num})
+			}
 		}
 	}
 	if err := w.AddRecord(edit.Encode()); err != nil {

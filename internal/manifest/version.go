@@ -28,6 +28,17 @@ type FileMeta struct {
 	// Smallest and Largest are the bounding internal keys.
 	Smallest []byte
 	Largest  []byte
+	// Checksum is the CRC-32C of the file's full byte stream, computed
+	// by the SST writer and persisted through the version edit. Zero
+	// means no digest was recorded (files from pre-checksum manifests).
+	Checksum uint32
+
+	// quarantined marks a file in which corruption was detected; the
+	// mark is persisted as its own edit record so it survives reopen,
+	// and clears only when repair replaces (or drops) the file. It is
+	// diagnostic state, not layout state: a quarantined file still
+	// serves its intact blocks until repair completes.
+	quarantined atomic.Bool
 
 	// refs counts the versions currently holding this file. It is
 	// owned by the version lifecycle: each version installed by a Set
@@ -41,6 +52,14 @@ type FileMeta struct {
 // Refs returns the number of versions referencing the file
 // (tests/diagnostics).
 func (f *FileMeta) Refs() int32 { return f.refs.Load() }
+
+// Quarantined reports whether corruption has been detected in this file.
+func (f *FileMeta) Quarantined() bool { return f.quarantined.Load() }
+
+// MarkQuarantined flags the file as damaged. FileMetas are shared across
+// versions, so the mark is visible to every version holding the file —
+// the damage is a property of the file, not of one layout.
+func (f *FileMeta) MarkQuarantined() { f.quarantined.Store(true) }
 
 // ContainsUserKey reports whether the file's key range may contain
 // userKey.
@@ -214,6 +233,16 @@ func (v *Version) Apply(edit *Edit) (*Version, error) {
 	}
 	for _, a := range edit.Added {
 		nv.Files[a.Level] = append(append([]*FileMeta(nil), nv.Files[a.Level]...), a.Meta)
+	}
+	for _, q := range edit.Quarantined {
+		// Tolerate a mark for a file no longer at the level: a replayed
+		// manifest may quarantine a file a later edit already removed.
+		for _, f := range nv.Files[q.Level] {
+			if f.Num == q.Num {
+				f.MarkQuarantined()
+				break
+			}
+		}
 	}
 	for l := range nv.Files {
 		sortLevel(l, nv.Files[l])

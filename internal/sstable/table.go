@@ -2,6 +2,7 @@ package sstable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -11,6 +12,29 @@ import (
 	"xpointdb/internal/keys"
 	"xpointdb/internal/vfs"
 )
+
+// CorruptionError reports a checksum or structural integrity failure in
+// a table. It identifies the file, not just the failing offset, so
+// events, logs, and the engine's quarantine/repair path can act on it.
+type CorruptionError struct {
+	// FileNum is the table's file number (NNNNNN.sst).
+	FileNum uint64
+	// Offset is the file offset of the damaged region (0 when the
+	// failure is file-scoped, e.g. a whole-file checksum mismatch).
+	Offset uint64
+	// Detail describes the failure.
+	Detail string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("sstable: file %d corrupt at offset %d: %s", e.FileNum, e.Offset, e.Detail)
+}
+
+// IsCorruption reports whether err wraps a CorruptionError.
+func IsCorruption(err error) bool {
+	var ce *CorruptionError
+	return errors.As(err, &ce)
+}
 
 // Compression selects the block compression codec.
 type Compression byte
@@ -96,6 +120,7 @@ type Builder struct {
 	numEntries int
 	smallest   []byte
 	largest    []byte
+	fileCRC    uint32 // running CRC-32C over every byte written
 	err        error
 }
 
@@ -221,6 +246,8 @@ func (b *Builder) writeBlock(contents []byte, codec Compression) (blockHandle, e
 	if _, err := b.f.Write(trailer[:]); err != nil {
 		return h, fmt.Errorf("sstable: write trailer: %w", err)
 	}
+	b.fileCRC = crc32.Update(b.fileCRC, crcTable, contents)
+	b.fileCRC = crc32.Update(b.fileCRC, crcTable, trailer[:])
 	b.offset += uint64(len(contents)) + blockTrailerLen
 	return h, nil
 }
@@ -260,9 +287,16 @@ func (b *Builder) Finish() (int64, error) {
 	if _, err := b.f.Write(footer[:]); err != nil {
 		return 0, fmt.Errorf("sstable: write footer: %w", err)
 	}
+	b.fileCRC = crc32.Update(b.fileCRC, crcTable, footer[:])
 	b.offset += footerLen
 	return int64(b.offset), nil
 }
+
+// Checksum returns the CRC-32C of every byte written to the file. It is
+// the table's whole-file checksum, valid after Finish; the manifest
+// records it so corruption anywhere in the file — including regions no
+// block CRC covers, like footer padding — is detectable later.
+func (b *Builder) Checksum() uint32 { return b.fileCRC }
 
 // NumEntries returns the number of entries added so far.
 func (b *Builder) NumEntries() int { return b.numEntries }
@@ -297,21 +331,7 @@ type Reader struct {
 // table metadata pinned in the table cache). c may be nil to disable
 // block caching.
 func NewReader(f vfs.File, size int64, fileNum uint64, c *cache.Cache) (*Reader, error) {
-	if size < footerLen {
-		return nil, fmt.Errorf("sstable: file %d too small (%d bytes)", fileNum, size)
-	}
-	var footer [footerLen]byte
-	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
-		return nil, fmt.Errorf("sstable: read footer of %d: %w", fileNum, err)
-	}
-	if got := binary.LittleEndian.Uint64(footer[footerLen-8:]); got != tableMagic {
-		return nil, fmt.Errorf("sstable: bad magic %#x in file %d", got, fileNum)
-	}
-	filterHandle, _, err := decodeHandle(footer[0:20])
-	if err != nil {
-		return nil, err
-	}
-	indexHandle, _, err := decodeHandle(footer[20:40])
+	filterHandle, indexHandle, err := readFooter(f, size, fileNum)
 	if err != nil {
 		return nil, err
 	}
@@ -330,6 +350,45 @@ func NewReader(f vfs.File, size int64, fileNum uint64, c *cache.Cache) (*Reader,
 	return r, nil
 }
 
+// readFooter reads and decodes the fixed footer: magic check plus the
+// filter and index block handles.
+func readFooter(f vfs.File, size int64, fileNum uint64) (filterHandle, indexHandle blockHandle, err error) {
+	if size < footerLen {
+		return blockHandle{}, blockHandle{}, &CorruptionError{
+			FileNum: fileNum,
+			Detail:  fmt.Sprintf("file too small for footer (%d bytes)", size),
+		}
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
+		return blockHandle{}, blockHandle{}, fmt.Errorf("sstable: read footer of %d: %w", fileNum, err)
+	}
+	if got := binary.LittleEndian.Uint64(footer[footerLen-8:]); got != tableMagic {
+		return blockHandle{}, blockHandle{}, &CorruptionError{
+			FileNum: fileNum,
+			Offset:  uint64(size - 8),
+			Detail:  fmt.Sprintf("bad magic %#x", got),
+		}
+	}
+	filterHandle, _, err = decodeHandle(footer[0:20])
+	if err != nil {
+		return blockHandle{}, blockHandle{}, &CorruptionError{
+			FileNum: fileNum,
+			Offset:  uint64(size - footerLen),
+			Detail:  fmt.Sprintf("footer filter handle: %v", err),
+		}
+	}
+	indexHandle, _, err = decodeHandle(footer[20:40])
+	if err != nil {
+		return blockHandle{}, blockHandle{}, &CorruptionError{
+			FileNum: fileNum,
+			Offset:  uint64(size - footerLen + 20),
+			Detail:  fmt.Sprintf("footer index handle: %v", err),
+		}
+	}
+	return filterHandle, indexHandle, nil
+}
+
 // readBlock reads, verifies, and decompresses a block, bypassing the
 // cache.
 func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
@@ -340,8 +399,11 @@ func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
 	sz := uint64(r.size)
 	if h.offset > sz || h.length > sz-h.offset ||
 		blockTrailerLen > sz-h.offset-h.length {
-		return nil, fmt.Errorf("sstable: block handle (%d,%d) exceeds file size %d",
-			h.offset, h.length, r.size)
+		return nil, &CorruptionError{
+			FileNum: r.fileNum,
+			Offset:  h.offset,
+			Detail:  fmt.Sprintf("block handle (%d,%d) exceeds file size %d", h.offset, h.length, r.size),
+		}
 	}
 	buf := make([]byte, h.length+blockTrailerLen)
 	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
@@ -351,7 +413,11 @@ func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
 	crc := crc32.Update(0, crcTable, contents)
 	crc = crc32.Update(crc, crcTable, trailer[:1])
 	if want := binary.LittleEndian.Uint32(trailer[1:]); crc != want {
-		return nil, fmt.Errorf("sstable: block at %d fails checksum", h.offset)
+		return nil, &CorruptionError{
+			FileNum: r.fileNum,
+			Offset:  h.offset,
+			Detail:  fmt.Sprintf("block fails checksum (computed %#x, stored %#x)", crc, want),
+		}
 	}
 	switch Compression(trailer[0]) {
 	case NoCompression:
@@ -359,11 +425,19 @@ func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
 	case FlateCompression:
 		out, err := flateDecompress(contents)
 		if err != nil {
-			return nil, fmt.Errorf("sstable: block at %d: %w", h.offset, err)
+			return nil, &CorruptionError{
+				FileNum: r.fileNum,
+				Offset:  h.offset,
+				Detail:  fmt.Sprintf("block decompression: %v", err),
+			}
 		}
 		return out, nil
 	}
-	return nil, fmt.Errorf("sstable: block at %d has unknown codec %d", h.offset, trailer[0])
+	return nil, &CorruptionError{
+		FileNum: r.fileNum,
+		Offset:  h.offset,
+		Detail:  fmt.Sprintf("block has unknown codec %d", trailer[0]),
+	}
 }
 
 // getBlock returns block contents via the cache; hit reports whether

@@ -70,6 +70,12 @@ type Config struct {
 	// rules) and the engine's recovery worker must return the SAME
 	// handle to Healthy with zero acked-write loss. See runTransient.
 	Transient bool
+	// Bitrot switches Run to the silent-corruption mode: seeded bit
+	// flips on SST reads, and the integrity machinery (block checksums,
+	// scrub, quarantine & repair) must guarantee no silent wrong read
+	// ever — every corruption is detected and either repaired or
+	// declared as bounded data loss. See runBitrot.
+	Bitrot bool
 	// Logf, when set, receives verbose progress (e.g. t.Logf).
 	Logf func(format string, args ...interface{})
 }
@@ -155,6 +161,9 @@ func Run(cfg Config) error {
 	cfg = cfg.withDefaults()
 	if cfg.Transient {
 		return runTransient(cfg)
+	}
+	if cfg.Bitrot {
+		return runBitrot(cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 

@@ -178,6 +178,27 @@ func (fs *MemFS) CrashClone() *MemFS {
 	return clone
 }
 
+// CorruptBit flips one bit of name's stored data in place — silent
+// media corruption, invisible to every open handle until the damaged
+// byte is next read. A test hook for the integrity machinery (checksum
+// verification, scrub, quarantine & repair); no device time is charged
+// because nothing issued an I/O.
+func (fs *MemFS) CorruptBit(name string, off int64) error {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("vfs: corrupt %s: %w", name, ErrNotExist)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("vfs: corrupt %s at %d beyond size %d", name, off, len(f.data))
+	}
+	f.data[off] ^= 1
+	return nil
+}
+
 // TotalBytes reports the summed size of all files (for tests and space
 // accounting).
 func (fs *MemFS) TotalBytes() int64 {
