@@ -5,7 +5,7 @@ GO ?= go
 TORTURE_ITERS ?= 50
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier3 bench-observability bench-smoke
+.PHONY: all tier1 tier2 tier3 bench-observability bench-smoke obs-smoke
 
 all: tier1
 
@@ -46,6 +46,12 @@ tier3:
 # full before/after numbers live in BENCH_superversion.json.
 bench-smoke:
 	$(GO) run ./cmd/dbbench -device xpoint -benchmarks mixed -threads 8 -duration 5s
+
+# Ops-plane smoke: run dbbench on a real directory with -serve and
+# curl every HTTP endpoint (/healthz, /metrics, /stats, /events SSE,
+# the dashboard page) while the benchmark is live.
+obs-smoke:
+	bash scripts/obs_smoke.sh
 
 # Re-measure the write-path instrumentation overhead recorded in
 # BENCH_observability.json (fillrandom on the simulated device, bare

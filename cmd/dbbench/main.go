@@ -54,6 +54,8 @@ func main() {
 		scrubRate  = flag.Int64("scrub_rate", 0, "scrubber budget in bytes/sec (0 = engine default)")
 		faultProb  = flag.Float64("faultprob", 0, "inject WAL sync failures with this probability (simulated device only); exercises error recovery under load")
 		faultHeal  = flag.Duration("faultheal", 0, "heal the injected fault this long (engine-clock time) after it first matches (0 = faults persist for the whole run)")
+		serveAddr  = flag.String("serve", "", "serve the HTTP ops plane on this address during the run (e.g. :8080 or 127.0.0.1:0); /metrics, /events, /stats, /healthz, /debug/pprof and a dashboard at /")
+		slowOp     = flag.Duration("slowop", 0, "trace operations slower than this as slow_op events with a stage breakdown (0 disables)")
 	)
 	flag.Parse()
 
@@ -101,6 +103,8 @@ func main() {
 		if evLog != nil {
 			o.EventListener = evLog
 		}
+		o.ObsAddr = *serveAddr
+		o.SlowOpThreshold = *slowOp
 		if *statsIntv > 0 {
 			o.StatsDumpInterval = *statsIntv
 			o.StatsWriter = os.Stderr
@@ -154,6 +158,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("open: %v", err)
 		}
+		if addr := db.ObsAddr(); addr != "" {
+			log.Printf("ops plane on http://%s (note: engine time is virtual here; prefer -path mode for interactive browsing)", addr)
+		}
 		armFaults := func() {}
 		if ffs != nil {
 			// Armed only after open and preload: the benchmark
@@ -205,6 +212,9 @@ func runReal(path string, tweak func(*engine.Options), bench string, threads int
 	db, err := engine.Open(opts)
 	if err != nil {
 		log.Fatalf("open: %v", err)
+	}
+	if addr := db.ObsAddr(); addr != "" {
+		log.Printf("ops plane on http://%s", addr)
 	}
 	res := runBenchmark(clock.Real{}, db, bench, threads, duration, num, valueSize, writeRatio, seed, func() {})
 	m := db.Metrics()

@@ -44,7 +44,7 @@ func newFaultTestDB(t *testing.T, tweak func(*Options)) (*DB, *faultfs.FS) {
 // acknowledging data the log cannot promise durable.
 func TestWALSyncFailureLatches(t *testing.T) {
 	buf := &events.Buffer{}
-	db, ffs := newFaultTestDB(t, func(o *Options) { o.EventListener = buf })
+	db, ffs := newFaultTestDB(t, func(o *Options) { o.EventListener = buf; o.EventSinkQueue = -1 })
 	defer db.Close()
 
 	if err := db.Put(testKey(0), testValue(0)); err != nil {

@@ -136,10 +136,11 @@ func (db *DB) compactWorker() {
 		db.compacting = true
 		db.mu.Unlock()
 
-		var inputBytes int64
+		var inputBytes, upperBytes int64
 		for _, f := range c.inputs {
-			inputBytes += f.Size
+			upperBytes += f.Size
 		}
+		inputBytes = upperBytes
 		for _, f := range c.overlaps {
 			inputBytes += f.Size
 		}
@@ -147,8 +148,9 @@ func (db *DB) compactWorker() {
 		compStart := db.clk.Now()
 
 		stats, err := db.runCompaction(c)
+		compDur := db.clk.Now().Sub(compStart)
 		db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
-			stats.entries, db.clk.Now().Sub(compStart), err)
+			stats.entries, compDur, err)
 		c.base.Unref()
 
 		if err != nil {
@@ -177,6 +179,9 @@ func (db *DB) compactWorker() {
 		} else {
 			db.clearSoftErrorLocked(opCompaction)
 			db.metrics.Compactions.Add(1)
+			db.metrics.CompactionLatency.Record(compDur)
+			db.metrics.Levels[c.outputLevel].recordCompaction(
+				upperBytes, stats.read, stats.written, compDur)
 			db.bgCond.Broadcast()
 		}
 		db.mu.Unlock()

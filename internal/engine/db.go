@@ -47,6 +47,7 @@ import (
 	"xpointdb/internal/events"
 	"xpointdb/internal/manifest"
 	"xpointdb/internal/memtable"
+	"xpointdb/internal/obs"
 	"xpointdb/internal/throttle"
 	"xpointdb/internal/vfs"
 	"xpointdb/internal/wal"
@@ -92,6 +93,8 @@ type DB struct {
 	blocks     *cache.Cache
 	tables     *tableCache
 	ev         events.Listener // nil when event logging is off
+	hub        *obs.Hub        // event fan-out hub (nil without sink/ops plane)
+	obsSrv     *obs.Server     // HTTP ops plane (nil unless Options.ObsAddr)
 
 	mu     clock.Mutex
 	bgCond clock.Cond // broadcast on any background state change
@@ -193,6 +196,7 @@ func Open(opts Options) (*DB, error) {
 		db.blocks = cache.New(opts.BlockCacheSize)
 	}
 	db.tables = newTableCache(clk, db.fs, db.blocks)
+	db.wireEventHub() // may replace db.ev with the hub (serve.go)
 	tcfg := throttle.Config{
 		Mode:             opts.ThrottleMode,
 		DelayedWriteRate: opts.DelayedWriteRate,
@@ -208,6 +212,9 @@ func Open(opts Options) (*DB, error) {
 	db.recoveryCond = clk.NewCond(db.mu)
 
 	if err := db.openOrRecover(); err != nil {
+		if db.hub != nil {
+			db.hub.Close()
+		}
 		return nil, err
 	}
 
@@ -244,6 +251,11 @@ func Open(opts Options) (*DB, error) {
 	db.mu.Lock()
 	db.updateStallStateLocked()
 	db.mu.Unlock()
+
+	if err := db.startObsServer(); err != nil {
+		_ = db.Close()
+		return nil, err
+	}
 	return db, nil
 }
 
@@ -443,6 +455,10 @@ func (db *DB) Close() error {
 	if cerr := db.vs.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
+	// Tear down the ops plane last: every background worker has exited,
+	// so the event stream is complete; closing the hub drains the sink
+	// fully before the HTTP server stops answering.
+	db.closeObs()
 	return err
 }
 

@@ -178,6 +178,48 @@ func (db *DB) emitIntegrity(kind events.Kind, in *events.Integrity) {
 	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: kind, Integrity: in})
 }
 
+// emitSlowOp promotes one operation whose end-to-end latency met
+// Options.SlowOpThreshold into a slow_op trace event, carrying its
+// PerfContext stage breakdown (d may be nil when stage collection was
+// unavailable). Called after the operation completed, no locks held.
+func (db *DB) emitSlowOp(op string, lat time.Duration, batch int, d *PerfContext) {
+	db.metrics.SlowOps.Add(1)
+	if db.ev == nil {
+		return
+	}
+	so := &events.SlowOp{
+		Op:          op,
+		LatencyUS:   lat.Microseconds(),
+		ThresholdUS: db.opts.SlowOpThreshold.Microseconds(),
+		Batch:       batch,
+	}
+	if d != nil {
+		stages := map[string]time.Duration{
+			"throttle":   d.ThrottleDelay,
+			"queue":      d.WriteQueueWait,
+			"stall":      d.WriteStall,
+			"wal_append": d.WALAppend,
+			"wal_sync":   d.WALSync,
+			"mem_insert": d.MemtableInsert,
+			"mem_probe":  d.MemtableProbe,
+			"imm_probe":  d.ImmutableProbe,
+			"l0_probe":   d.L0ProbeTime,
+			"deep_probe": d.DeepProbeTime,
+			"block_read": d.BlockReadTime,
+		}
+		for name, v := range stages {
+			if v <= 0 {
+				continue
+			}
+			if so.Stages == nil {
+				so.Stages = make(map[string]int64, 4)
+			}
+			so.Stages[name] = v.Microseconds()
+		}
+	}
+	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: events.KindSlowOp, SlowOp: so})
+}
+
 // emitObsoleteGC records one zombie sweep: SSTs whose last version
 // reference died and were deleted from disk.
 func (db *DB) emitObsoleteGC(files []uint64) {

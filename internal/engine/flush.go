@@ -99,8 +99,10 @@ func (db *DB) flushWorker() {
 			behind := l0Files >= db.opts.L0SlowdownTrigger
 			db.bgCond.Broadcast()
 			db.mu.Unlock()
-			db.emitFlushEnd(fm.reason, fm.walNum, num, meta.Size, l0Files,
-				db.clk.Now().Sub(flushStart), nil)
+			flushDur := db.clk.Now().Sub(flushStart)
+			db.metrics.FlushLatency.Record(flushDur)
+			db.metrics.Levels[0].recordCompaction(memBytes, 0, meta.Size, flushDur)
+			db.emitFlushEnd(fm.reason, fm.walNum, num, meta.Size, l0Files, flushDur, nil)
 			if db.stallActive() {
 				db.controller.AdjustRate(behind)
 			}

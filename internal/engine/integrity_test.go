@@ -99,6 +99,7 @@ func TestReadPathCorruptionRepairs(t *testing.T) {
 		o.DisableAutoRecovery = false
 		o.DisableScrub = true
 		o.EventListener = buf
+		o.EventSinkQueue = -1 // asserted mid-run
 		o.RecoveryBaseBackoff = time.Millisecond
 		o.RecoveryMaxBackoff = 10 * time.Millisecond
 	})
@@ -150,6 +151,7 @@ func TestScrubDetectsPersistentCorruption(t *testing.T) {
 	buf := &events.Buffer{}
 	db, fs := newTestDB(t, func(o *Options) {
 		o.EventListener = buf
+		o.EventSinkQueue = -1 // asserted mid-run
 		o.RecoveryBaseBackoff = time.Millisecond
 		o.RecoveryMaxBackoff = 10 * time.Millisecond
 	})
@@ -206,6 +208,7 @@ func TestScrubCompletesCleanPass(t *testing.T) {
 	buf := &events.Buffer{}
 	db, _ := newTestDB(t, func(o *Options) {
 		o.EventListener = buf
+		o.EventSinkQueue = -1 // asserted mid-run
 		o.ScrubBytesPerSec = 64 << 20
 	})
 	defer db.Close()

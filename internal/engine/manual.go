@@ -59,16 +59,21 @@ func (db *DB) compactLevelRange(level int, start, end []byte) error {
 	db.compacting = true
 	db.mu.Unlock()
 
-	var inputBytes int64
-	for _, f := range append(append([]*manifest.FileMeta(nil), c.inputs...), c.overlaps...) {
+	var inputBytes, upperBytes int64
+	for _, f := range c.inputs {
+		upperBytes += f.Size
+	}
+	inputBytes = upperBytes
+	for _, f := range c.overlaps {
 		inputBytes += f.Size
 	}
 	db.emitCompactionBegin(c, inputBytes)
 	compStart := db.clk.Now()
 
 	stats, err := db.runCompaction(c)
+	compDur := db.clk.Now().Sub(compStart)
 	db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
-		stats.entries, db.clk.Now().Sub(compStart), err)
+		stats.entries, compDur, err)
 	c.base.Unref()
 
 	db.mu.Lock()
@@ -77,6 +82,9 @@ func (db *DB) compactLevelRange(level int, start, end []byte) error {
 	db.mu.Unlock()
 	if err == nil {
 		db.metrics.Compactions.Add(1)
+		db.metrics.CompactionLatency.Record(compDur)
+		db.metrics.Levels[c.outputLevel].recordCompaction(
+			upperBytes, stats.read, stats.written, compDur)
 		db.deleteObsoleteFiles()
 	}
 	return err

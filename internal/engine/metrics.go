@@ -7,6 +7,7 @@ import (
 
 	"xpointdb/internal/clock"
 	"xpointdb/internal/histogram"
+	"xpointdb/internal/manifest"
 )
 
 // Metrics aggregates the engine's instrumentation. All members are
@@ -94,6 +95,29 @@ type Metrics struct {
 	CorruptionsRepaired atomic.Int64
 	DataLossEvents      atomic.Int64
 
+	// Background-stage latency histograms: one sample per completed
+	// flush, per compaction, per WAL fsync, and per full scrub pass.
+	// Full distributions (not just sums) because background-work tail
+	// latency is what turns into foreground stalls — the paper's
+	// throttling case studies are exactly about flush/compaction
+	// episodes that straggle.
+	FlushLatency      histogram.Histogram
+	CompactionLatency histogram.Histogram
+	WALSyncLatency    histogram.Histogram
+	ScrubPassLatency  histogram.Histogram
+
+	// SlowOps counts operations promoted into slow_op trace events
+	// (end-to-end latency over Options.SlowOpThreshold).
+	SlowOps atomic.Int64
+	// EventsDropped counts events lost to ops-plane backpressure: the
+	// bounded sink queue was full, so the event reached subscribers
+	// and the replay ring but not the JSON-lines sink.
+	EventsDropped atomic.Int64
+
+	// Levels holds the per-level compaction/I-O counters behind the
+	// RocksDB-style level stats table (levelstats.go).
+	Levels [manifest.NumLevels]LevelCounters
+
 	// Per-stage latency histograms, populated from PerfContext when
 	// Options.CollectPerf is on (or a caller passes a context in).
 	// Only operations that exercised a stage are recorded in that
@@ -180,6 +204,37 @@ func (m *Metrics) recordReadPerf(pc *PerfContext) {
 	if pc.BlockCacheMisses > 0 {
 		m.PerfBlockCacheMisses.Add(int64(pc.BlockCacheMisses))
 	}
+}
+
+// LevelCounters aggregates the compaction I/O attributed to one LSM
+// level — the level each flush or compaction *writes into* (RocksDB's
+// per-level stats table convention: a L3→L4 compaction is charged to
+// L4). All fields are cumulative since open.
+type LevelCounters struct {
+	// Compactions counts completed jobs into the level: flushes for
+	// Level 0, compactions for deeper levels.
+	Compactions atomic.Int64
+	// BytesIngested counts bytes arriving from above: the memtable
+	// bytes flushed (L0) or the upper-level input bytes read (L1+).
+	// Write-amp for the level is BytesWritten / BytesIngested.
+	BytesIngested atomic.Int64
+	// BytesRead counts all compaction input bytes read for jobs into
+	// this level (upper-level inputs plus this level's overlaps).
+	BytesRead atomic.Int64
+	// BytesWritten counts output bytes written into the level.
+	BytesWritten atomic.Int64
+	// Micros is total flush/compaction wall (or virtual) time for jobs
+	// into the level.
+	Micros atomic.Int64
+}
+
+// recordCompaction folds one completed job into the level's counters.
+func (lc *LevelCounters) recordCompaction(ingested, read, written int64, d time.Duration) {
+	lc.Compactions.Add(1)
+	lc.BytesIngested.Add(ingested)
+	lc.BytesRead.Add(read)
+	lc.BytesWritten.Add(written)
+	lc.Micros.Add(d.Microseconds())
 }
 
 // Gauge is a time-weighted level gauge: it integrates the level over

@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xpointdb/internal/clock"
+	"xpointdb/internal/events"
+	"xpointdb/internal/obs"
+	"xpointdb/internal/storage"
+	"xpointdb/internal/vfs"
+)
+
+// TestPrometheusGolden renders the full /metrics exposition of a DB
+// that has done real work and runs it through the strict parser: every
+// family well-formed, every histogram's bucket invariants intact, and
+// the counters the report audit cares about all present exactly once.
+func TestPrometheusGolden(t *testing.T) {
+	db, _ := newTestDB(t, nil)
+	defer db.Close()
+
+	for i := 0; i < 2000; i++ {
+		if err := db.Put(testKey(i), testValue(i)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := db.Get(testKey(i)); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	}
+
+	var buf bytes.Buffer
+	db.WritePrometheus(&buf)
+	fams, err := obs.ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	byName := map[string]*obs.PromFamily{}
+	for _, f := range fams {
+		if _, dup := byName[f.Name]; dup {
+			t.Errorf("family %s declared twice", f.Name)
+		}
+		byName[f.Name] = f
+	}
+
+	// The audit list: every engine counter surfaced in Report() must
+	// appear in the exposition, including the integrity set.
+	mustHave := []string{
+		"xpointdb_ops_total", "xpointdb_write_ops_total",
+		"xpointdb_get_latency_seconds", "xpointdb_write_latency_seconds",
+		"xpointdb_flush_latency_seconds", "xpointdb_compaction_latency_seconds",
+		"xpointdb_wal_sync_latency_seconds",
+		"xpointdb_flushes_total", "xpointdb_compactions_total",
+		"xpointdb_stall_delay_seconds_total", "xpointdb_stall_stops_total",
+		"xpointdb_level_files", "xpointdb_level_compactions_total",
+		"xpointdb_level_written_bytes_total",
+		"xpointdb_scrub_passes_total", "xpointdb_scrubbed_bytes_total",
+		"xpointdb_corruptions_detected_total", "xpointdb_files_quarantined_total",
+		"xpointdb_corruptions_repaired_total", "xpointdb_data_loss_events_total",
+		"xpointdb_slow_ops_total", "xpointdb_events_dropped_total",
+		"xpointdb_health", "xpointdb_uptime_seconds",
+	}
+	for _, name := range mustHave {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("family %s missing from exposition", name)
+		}
+	}
+
+	// Spot-check values against the live counters.
+	s := db.Metrics().Snapshot()
+	if got := byName["xpointdb_flushes_total"].Samples[0].Value; got != float64(s.Flushes) {
+		t.Errorf("flushes_total = %v, metrics say %d", got, s.Flushes)
+	}
+	gl := byName["xpointdb_get_latency_seconds"]
+	var count float64
+	for _, smp := range gl.Samples {
+		if strings.HasSuffix(smp.Name, "_count") {
+			count = smp.Value
+		}
+	}
+	if count != float64(s.Gets) {
+		t.Errorf("get_latency count = %v, metrics say %d", count, s.Gets)
+	}
+}
+
+// TestSlowOpTracing: with a threshold of 1ns every op is slow, and
+// each promoted event must carry the full stage breakdown even though
+// CollectPerf is off.
+func TestSlowOpTracing(t *testing.T) {
+	buf := &events.Buffer{}
+	db, _ := newTestDB(t, func(o *Options) {
+		o.EventListener = buf
+		o.EventSinkQueue = -1
+		o.SlowOpThreshold = time.Nanosecond
+	})
+	defer db.Close()
+
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if _, err := db.Get([]byte("k")); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+
+	var sawGet, sawWrite bool
+	for _, e := range buf.Events() {
+		if e.Kind != events.KindSlowOp {
+			continue
+		}
+		so := e.SlowOp
+		if so.ThresholdUS != 0 {
+			t.Errorf("1ns threshold rounds to %dµs, want 0", so.ThresholdUS)
+		}
+		if len(so.Stages) == 0 {
+			t.Errorf("slow_op %q has no stage breakdown", so.Op)
+		}
+		switch so.Op {
+		case "get":
+			sawGet = true
+		case "write":
+			sawWrite = true
+			if so.Batch != 1 {
+				t.Errorf("write slow_op batch = %d, want 1", so.Batch)
+			}
+		}
+	}
+	if !sawGet || !sawWrite {
+		t.Fatalf("missing slow_op events: get=%v write=%v", sawGet, sawWrite)
+	}
+	if db.Metrics().SlowOps.Load() < 2 {
+		t.Errorf("SlowOps = %d, want >= 2", db.Metrics().SlowOps.Load())
+	}
+}
+
+// TestSyncEventsBarrier: with the async sink (the default), SyncEvents
+// must make everything emitted so far visible to the listener without
+// closing the DB.
+func TestSyncEventsBarrier(t *testing.T) {
+	buf := &events.Buffer{}
+	db, _ := newTestDB(t, func(o *Options) { o.EventListener = buf })
+	defer db.Close()
+
+	for i := 0; i < 500; i++ {
+		if err := db.Put(testKey(i), testValue(i)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	db.SyncEvents()
+	var sawFlush bool
+	for _, e := range buf.Events() {
+		if e.Kind == events.KindFlushEnd {
+			sawFlush = true
+		}
+	}
+	if !sawFlush {
+		t.Fatalf("flush_end not visible to async sink after SyncEvents (%d events)", buf.Len())
+	}
+}
+
+// blockingSink blocks every Emit until released — the pathological
+// JSON-lines sink (full disk, hung NFS) the bounded queue exists for.
+type blockingSink struct {
+	release chan struct{}
+	n       int64
+	mu      sync.Mutex
+}
+
+func (b *blockingSink) Emit(events.Event) {
+	<-b.release
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// TestEventSinkBackpressureDrops: a wedged sink must never block the
+// write path; overflow is counted in Metrics.EventsDropped.
+func TestEventSinkBackpressureDrops(t *testing.T) {
+	sink := &blockingSink{release: make(chan struct{})}
+	db, _ := newTestDB(t, func(o *Options) {
+		o.EventListener = sink
+		o.EventSinkQueue = 2
+		o.SlowOpThreshold = time.Nanosecond // every op emits an event
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if err := db.Put(testKey(i), testValue(i)); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("write path blocked on a wedged event sink")
+	}
+	if db.Metrics().EventsDropped.Load() == 0 {
+		t.Error("no drops counted despite a wedged sink and a queue of 2")
+	}
+	close(sink.release) // un-wedge so Close can drain
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestObsPlaneUnderLoad is the race-mode hammer: a live HTTP ops
+// server, concurrent /metrics scrapes (each response strictly parsed),
+// /events subscribers churning connect/disconnect, and StatsReport
+// calls — all against a DB running a mixed workload.
+func TestObsPlaneUnderLoad(t *testing.T) {
+	buf := &events.Buffer{}
+	db, _ := newTestDB(t, func(o *Options) {
+		o.ObsAddr = "127.0.0.1:0"
+		o.EventListener = buf
+		o.SlowOpThreshold = time.Nanosecond // constant event traffic
+	})
+	addr := db.ObsAddr()
+	if addr == "" {
+		t.Fatal("ObsAddr empty with ObsAddr option set")
+	}
+	base := "http://" + addr
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Mixed workload.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := testKey((i*7 + w*1000) % 3000)
+				if i%2 == 0 {
+					if err := db.Put(k, testValue(i)); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				} else if _, err := db.Get(k); err != nil && err != ErrNotFound {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Scrapers: every response must parse.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					t.Errorf("GET /metrics: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if _, err := obs.ParsePromText(bytes.NewReader(body)); err != nil {
+					t.Errorf("scrape does not parse: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// SSE churn: connect, read a little, disconnect.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, _ := http.NewRequest("GET", base+"/events", nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("GET /events: %v", err)
+				return
+			}
+			b := make([]byte, 4096)
+			_, _ = resp.Body.Read(b)
+			resp.Body.Close()
+		}
+	}()
+
+	// Stats and health pollers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = db.StatsReport()
+			_ = db.LevelStats().String()
+			resp, err := http.Get(base + "/healthz")
+			if err != nil {
+				t.Errorf("GET /healthz: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("healthz = %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(1 * time.Second)
+	close(stop)
+	wg.Wait()
+
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// After Close the server must be down and the sink fully drained.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("ops server still answering after Close")
+	}
+	var slow int
+	for _, e := range buf.Events() {
+		if e.Kind == events.KindSlowOp {
+			slow++
+		}
+	}
+	if slow == 0 {
+		t.Error("no slow_op events reached the async sink")
+	}
+}
+
+// TestObsAddrConflict: a second DB asking for the same port must fail
+// Open cleanly (no leaked workers, no leaked hub goroutine).
+func TestObsAddrConflict(t *testing.T) {
+	db1, _ := newTestDB(t, func(o *Options) { o.ObsAddr = "127.0.0.1:0" })
+	defer db1.Close()
+
+	var second *DB
+	_, err := func() (*DB, error) {
+		db2, err := openSecondOnAddr(db1.ObsAddr())
+		second = db2
+		return db2, err
+	}()
+	if err == nil {
+		second.Close()
+		t.Fatal("Open succeeded with a conflicting ObsAddr")
+	}
+	if !strings.Contains(err.Error(), "ops server") {
+		t.Errorf("error %q does not mention the ops server", err)
+	}
+}
+
+func openSecondOnAddr(addr string) (*DB, error) {
+	dev := storage.New(clock.Real{}, storage.Null())
+	opts := DefaultOptions(vfs.NewMem(dev))
+	opts.ObsAddr = addr // already bound by the first DB
+	return Open(opts)
+}

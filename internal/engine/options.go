@@ -118,6 +118,32 @@ type Options struct {
 	// locks held — and must be concurrency-safe and non-blocking.
 	EventListener events.Listener
 
+	// EventSinkQueue sizes the bounded queue between engine emitters
+	// and the EventListener. At the default (0 → 4096) the listener is
+	// called from a dedicated drain goroutine, so a slow or blocking
+	// sink can no longer stall the emitting engine path; if the queue
+	// fills, events are dropped for the listener (counted in
+	// Metrics.EventsDropped) while still reaching the ops-plane replay
+	// ring and SSE subscribers. Set negative to call the listener
+	// synchronously from the emitting goroutine — for tests and
+	// oracles that must observe an event the moment the operation that
+	// caused it returns.
+	EventSinkQueue int
+
+	// ObsAddr, when non-empty, serves the HTTP ops plane on this
+	// address (e.g. "127.0.0.1:8639", or ":0" for an ephemeral port —
+	// read the bound address back with DB.ObsAddr): /metrics in
+	// Prometheus text format, /events as SSE with recent-event replay,
+	// /stats, /healthz, /debug/pprof, and a live dashboard on /.
+	ObsAddr string
+
+	// SlowOpThreshold, when positive, promotes every Get or Apply
+	// whose end-to-end latency reaches the threshold into a slow_op
+	// event carrying the operation's full PerfContext stage breakdown
+	// (stage timing is collected for every op while set, as if
+	// CollectPerf were on). Zero disables slow-op tracing.
+	SlowOpThreshold time.Duration
+
 	// CollectPerf enables per-operation stage timing on every Get and
 	// Apply, aggregated into the Metrics Stage* histograms, even when
 	// the caller does not pass a PerfContext. Off by default: stage

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"xpointdb/internal/histogram"
+)
+
+// WritePrometheus writes every engine counter, gauge and histogram to
+// w in the Prometheus text exposition format (version 0.0.4), under
+// the xpointdb_ prefix with durations in seconds — the /metrics body
+// of the ops plane. The output is validated structurally by the obs
+// package's ParsePromText in the golden tests.
+func (db *DB) WritePrometheus(w io.Writer) {
+	m := db.metrics
+	s := m.Snapshot()
+
+	pw := promWriter{w: w}
+
+	pw.gauge("xpointdb_uptime_seconds", "Engine-clock seconds since open.",
+		s.Uptime.Seconds())
+	health := db.Health()
+	healthy := 0.0
+	if health == Healthy {
+		healthy = 1
+	}
+	pw.gaugeL("xpointdb_health", "1 when healthy; the state label carries the detail.",
+		fmt.Sprintf(`state="%s"`, health), healthy)
+
+	// Operation counts and end-to-end latency distributions.
+	pw.counter("xpointdb_ops_total", "Operations served (gets + write calls).",
+		float64(s.Gets+s.Writes))
+	pw.counter("xpointdb_write_ops_total", "Write (Apply) calls committed.",
+		float64(s.Writes))
+	pw.histogram("xpointdb_get_latency_seconds", "End-to-end Get latency.",
+		&m.GetLatency)
+	pw.histogram("xpointdb_write_latency_seconds", "End-to-end Apply latency, including throttling and stalls.",
+		&m.WriteLatency)
+	pw.histogram("xpointdb_wal_group_latency_seconds", "WAL append+sync latency per commit group.",
+		&m.WALLatency)
+
+	// Background-stage latency distributions.
+	pw.histogram("xpointdb_flush_latency_seconds", "Memtable flush duration (build + install).",
+		&m.FlushLatency)
+	pw.histogram("xpointdb_compaction_latency_seconds", "Compaction duration (read, merge, write, install).",
+		&m.CompactionLatency)
+	pw.histogram("xpointdb_wal_sync_latency_seconds", "WAL fsync duration.",
+		&m.WALSyncLatency)
+	pw.histogram("xpointdb_scrub_pass_latency_seconds", "Background scrub full-pass duration.",
+		&m.ScrubPassLatency)
+
+	// Per-operation stage breakdowns, one family with path/stage labels.
+	pw.beginHistogramFamily("xpointdb_stage_seconds",
+		"Per-operation stage latency from PerfContext (only ops that exercised the stage).")
+	for _, st := range []struct {
+		path, stage string
+		h           *histogram.Histogram
+	}{
+		{"write", "throttle", &m.StageThrottleDelay},
+		{"write", "queue", &m.StageQueueWait},
+		{"write", "stall", &m.StageWriteStall},
+		{"write", "wal_append", &m.StageWALAppend},
+		{"write", "wal_sync", &m.StageWALSync},
+		{"write", "mem_insert", &m.StageMemInsert},
+		{"get", "mem_probe", &m.StageMemProbe},
+		{"get", "imm_probe", &m.StageImmProbe},
+		{"get", "l0_probe", &m.StageL0Probe},
+		{"get", "deep_probe", &m.StageDeepProbe},
+		{"get", "block_read", &m.StageBlockRead},
+	} {
+		pw.histogramSeries("xpointdb_stage_seconds",
+			fmt.Sprintf(`path="%s",stage="%s"`, st.path, st.stage), st.h)
+	}
+	pw.counter("xpointdb_perf_write_ops_total", "Writes with stage timing collected.",
+		float64(s.PerfWriteOps))
+	pw.counter("xpointdb_perf_read_ops_total", "Gets with stage timing collected.",
+		float64(s.PerfReadOps))
+
+	// Stalls and the write queue.
+	pw.counter("xpointdb_stall_delay_seconds_total", "Foreground seconds spent in controller delays.",
+		s.StallDelayTotal.Seconds())
+	pw.counter("xpointdb_stall_stop_seconds_total", "Foreground seconds blocked on stop conditions.",
+		s.StallStopTotal.Seconds())
+	pw.counter("xpointdb_stall_stops_total", "Stop-stall episodes.", float64(s.StallStops))
+	pw.gauge("xpointdb_waiting_writers", "Current write-queue depth.",
+		float64(m.WaitingWriters.Current()))
+
+	// Background work.
+	pw.counter("xpointdb_flushes_total", "Completed memtable flushes.", float64(s.Flushes))
+	pw.counter("xpointdb_flush_bytes_total", "Bytes written to Level 0 by flushes.",
+		float64(s.FlushBytes))
+	pw.counter("xpointdb_compactions_total", "Completed compactions.", float64(s.Compactions))
+	pw.counter("xpointdb_compaction_read_bytes_total", "Compaction input bytes read.",
+		float64(s.CompactionBytesRead))
+	pw.counter("xpointdb_compaction_written_bytes_total", "Compaction output bytes written.",
+		float64(s.CompactionBytesWritten))
+	pw.counter("xpointdb_compaction_entries_merged_total", "Entries merged by compactions.",
+		float64(s.CompactionEntriesMerged))
+
+	// The per-level stats table, each column one labelled family.
+	ls := db.LevelStats()
+	pw.beginGaugeFamily("xpointdb_level_files", "Current SST files in the level.")
+	for _, l := range ls.Levels {
+		pw.sampleL("xpointdb_level_files", levelLabel(l.Level), float64(l.Files))
+	}
+	pw.beginGaugeFamily("xpointdb_level_bytes", "Current SST bytes in the level.")
+	for _, l := range ls.Levels {
+		pw.sampleL("xpointdb_level_bytes", levelLabel(l.Level), float64(l.Bytes))
+	}
+	pw.beginGaugeFamily("xpointdb_level_score", "Compaction urgency (>=1 wants compaction).")
+	for _, l := range ls.Levels {
+		pw.sampleL("xpointdb_level_score", levelLabel(l.Level), l.Score)
+	}
+	pw.beginCounterFamily("xpointdb_level_compactions_total",
+		"Jobs writing into the level (flushes for level 0).")
+	for _, l := range ls.Levels {
+		pw.sampleL("xpointdb_level_compactions_total", levelLabel(l.Level), float64(l.Compactions))
+	}
+	pw.beginCounterFamily("xpointdb_level_ingested_bytes_total",
+		"Bytes arriving into the level from above.")
+	for _, l := range ls.Levels {
+		pw.sampleL("xpointdb_level_ingested_bytes_total", levelLabel(l.Level), float64(l.BytesIngested))
+	}
+	pw.beginCounterFamily("xpointdb_level_read_bytes_total",
+		"Compaction input bytes read for jobs into the level.")
+	for _, l := range ls.Levels {
+		pw.sampleL("xpointdb_level_read_bytes_total", levelLabel(l.Level), float64(l.BytesRead))
+	}
+	pw.beginCounterFamily("xpointdb_level_written_bytes_total",
+		"Bytes written into the level by flush/compaction.")
+	for _, l := range ls.Levels {
+		pw.sampleL("xpointdb_level_written_bytes_total", levelLabel(l.Level), float64(l.BytesWritten))
+	}
+	pw.beginCounterFamily("xpointdb_level_compaction_seconds_total",
+		"Flush/compaction seconds spent writing into the level.")
+	for _, l := range ls.Levels {
+		pw.sampleL("xpointdb_level_compaction_seconds_total", levelLabel(l.Level),
+			l.CompactionTime.Seconds())
+	}
+
+	// SuperVersion lifecycle.
+	pw.counter("xpointdb_superversion_installs_total", "Read-path bundle swaps.",
+		float64(s.SuperVersionInstalls))
+	pw.counter("xpointdb_zombie_files_deleted_total", "SSTs reclaimed by the reference-driven sweep.",
+		float64(s.ZombieFilesDeleted))
+	pw.gauge("xpointdb_pinned_versions", "Versions alive (current + pinned by readers).",
+		float64(s.PinnedVersions))
+
+	// Read-path shape.
+	pw.beginCounterFamily("xpointdb_get_hits_total", "Gets resolved, by where the key was found.")
+	for _, h := range []struct {
+		where string
+		v     int64
+	}{
+		{"memtable", s.GetHitMemtable},
+		{"immutable", s.GetHitImmutable},
+		{"l0", s.GetHitL0},
+		{"deep", s.GetHitDeep},
+	} {
+		pw.sampleL("xpointdb_get_hits_total", fmt.Sprintf(`where="%s"`, h.where), float64(h.v))
+	}
+	pw.counter("xpointdb_get_misses_total", "Gets that found nothing.", float64(s.GetMisses))
+	pw.counter("xpointdb_l0_tables_probed_total", "Level-0 SST probes (read amplification).",
+		float64(s.L0TablesProbed))
+	pw.counter("xpointdb_bloom_skips_total", "SST probes short-circuited by a Bloom filter.",
+		float64(s.BloomSkips))
+	pw.counter("xpointdb_block_cache_perf_hits_total", "Block cache hits observed via PerfContext.",
+		float64(s.PerfBlockCacheHits))
+	pw.counter("xpointdb_block_cache_perf_misses_total", "Block cache misses observed via PerfContext.",
+		float64(s.PerfBlockCacheMisses))
+
+	// WAL.
+	pw.counter("xpointdb_wal_syncs_total", "WAL fsyncs.", float64(s.WALSyncs))
+	pw.counter("xpointdb_wal_sync_bytes_total", "Bytes made durable by WAL fsyncs.",
+		float64(s.WALSyncBytes))
+
+	// Errors and recovery.
+	pw.counter("xpointdb_soft_errors_total", "Soft background-error episodes.", float64(s.SoftErrors))
+	pw.counter("xpointdb_hard_errors_total", "Hard background-error latches.", float64(s.HardErrors))
+	pw.counter("xpointdb_recovery_attempts_total", "Background-error recovery attempts.",
+		float64(s.RecoveryAttempts))
+	pw.counter("xpointdb_recovery_successes_total", "Recoveries that cleared the latch.",
+		float64(s.RecoverySuccesses))
+	pw.counter("xpointdb_recovery_giveups_total", "Recoveries that exhausted the budget.",
+		float64(s.RecoveryGiveups))
+
+	// Integrity.
+	pw.counter("xpointdb_scrub_passes_total", "Completed scrub passes.", float64(s.ScrubPasses))
+	pw.counter("xpointdb_scrubbed_bytes_total", "Bytes read and verified by the scrubber.",
+		float64(s.ScrubbedBytes))
+	pw.counter("xpointdb_corruptions_detected_total", "Checksum failures observed.",
+		float64(s.CorruptionsDetected))
+	pw.counter("xpointdb_files_quarantined_total", "Files marked damaged in the manifest.",
+		float64(s.FilesQuarantined))
+	pw.counter("xpointdb_corruptions_repaired_total", "Quarantined files repaired with zero loss.",
+		float64(s.CorruptionsRepaired))
+	pw.counter("xpointdb_data_loss_events_total", "Files dropped with declared data loss.",
+		float64(s.DataLossEvents))
+
+	// Ops plane itself.
+	pw.counter("xpointdb_slow_ops_total", "Operations promoted to slow_op trace events.",
+		float64(s.SlowOps))
+	pw.counter("xpointdb_events_dropped_total", "Events dropped by the bounded sink queue.",
+		float64(s.EventsDropped))
+}
+
+func levelLabel(l int) string { return fmt.Sprintf(`level="%d"`, l) }
+
+// promWriter emits one family at a time. It exists to keep the HELP/
+// TYPE header and sample lines together and the float formatting in
+// one place.
+type promWriter struct {
+	w io.Writer
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) counter(name, help string, v float64) {
+	p.header(name, help, "counter")
+	fmt.Fprintf(p.w, "%s %s\n", name, promFloat(v))
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	fmt.Fprintf(p.w, "%s %s\n", name, promFloat(v))
+}
+
+func (p *promWriter) gaugeL(name, help, labels string, v float64) {
+	p.header(name, help, "gauge")
+	p.sampleL(name, labels, v)
+}
+
+func (p *promWriter) beginGaugeFamily(name, help string)   { p.header(name, help, "gauge") }
+func (p *promWriter) beginCounterFamily(name, help string) { p.header(name, help, "counter") }
+func (p *promWriter) beginHistogramFamily(name, help string) {
+	p.header(name, help, "histogram")
+}
+
+func (p *promWriter) sampleL(name, labels string, v float64) {
+	fmt.Fprintf(p.w, "%s{%s} %s\n", name, labels, promFloat(v))
+}
+
+// histogram writes one unlabelled histogram family.
+func (p *promWriter) histogram(name, help string, h *histogram.Histogram) {
+	p.header(name, help, "histogram")
+	p.histogramSeries(name, "", h)
+}
+
+// histogramSeries writes the _bucket/_sum/_count series for one
+// histogram under the given (possibly empty) label set. Buckets are
+// cumulative with le in seconds, ending at +Inf; an empty histogram
+// still writes a zero +Inf bucket so the family stays structurally
+// valid.
+func (p *promWriter) histogramSeries(name, labels string, h *histogram.Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	buckets, count, sum := h.Export()
+	if len(buckets) == 0 {
+		fmt.Fprintf(p.w, "%s_bucket{%s%sle=\"+Inf\"} 0\n", name, labels, sep)
+	}
+	for _, b := range buckets {
+		le := "+Inf"
+		if b.UpperBound != math.MaxInt64 {
+			le = promFloat(float64(b.UpperBound) / 1e9)
+		}
+		fmt.Fprintf(p.w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, le, b.Count)
+	}
+	if labels == "" {
+		fmt.Fprintf(p.w, "%s_sum %s\n", name, promFloat(sum.Seconds()))
+		fmt.Fprintf(p.w, "%s_count %d\n", name, count)
+	} else {
+		fmt.Fprintf(p.w, "%s_sum{%s} %s\n", name, labels, promFloat(sum.Seconds()))
+		fmt.Fprintf(p.w, "%s_count{%s} %d\n", name, labels, count)
+	}
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -26,7 +26,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 func (db *DB) GetWithPerf(key []byte, pc *PerfContext) ([]byte, error) {
 	var before PerfContext
 	if pc == nil {
-		if db.opts.CollectPerf {
+		if db.opts.CollectPerf || db.opts.SlowOpThreshold > 0 {
 			pc = &PerfContext{}
 		}
 	} else {
@@ -35,12 +35,18 @@ func (db *DB) GetWithPerf(key []byte, pc *PerfContext) ([]byte, error) {
 	start := db.clk.Now()
 	v, err := db.get(key, pc)
 	now := db.clk.Now()
-	db.metrics.GetLatency.Record(now.Sub(start))
+	lat := now.Sub(start)
+	db.metrics.GetLatency.Record(lat)
 	db.metrics.Ops.Record(now, 1)
 	db.windowReads.Add(1)
 	if pc != nil {
 		d := pc.diff(&before)
 		db.metrics.recordReadPerf(&d)
+		if t := db.opts.SlowOpThreshold; t > 0 && lat >= t {
+			db.emitSlowOp("get", lat, 0, &d)
+		}
+	} else if t := db.opts.SlowOpThreshold; t > 0 && lat >= t {
+		db.emitSlowOp("get", lat, 0, nil)
 	}
 	return v, err
 }

@@ -335,8 +335,10 @@ func (db *DB) recoveryDrainImms() error {
 		db.metrics.FlushBytes.Add(meta.Size)
 		db.bgCond.Broadcast()
 		db.mu.Unlock()
-		db.emitFlushEnd(fm.reason, fm.walNum, num, meta.Size, l0Files,
-			db.clk.Now().Sub(flushStart), nil)
+		flushDur := db.clk.Now().Sub(flushStart)
+		db.metrics.FlushLatency.Record(flushDur)
+		db.metrics.Levels[0].recordCompaction(fm.mem.ApproximateSize(), 0, meta.Size, flushDur)
+		db.emitFlushEnd(fm.reason, fm.walNum, num, meta.Size, l0Files, flushDur, nil)
 	}
 }
 

@@ -113,6 +113,7 @@ func TestAutoRecoveryWALSync(t *testing.T) {
 		o.DisableAutoRecovery = false
 		o.RecoveryBaseBackoff = time.Millisecond
 		o.EventListener = buf
+		o.EventSinkQueue = -1 // asserted mid-run
 	})
 	defer db.Close()
 
@@ -166,6 +167,7 @@ func TestAutoRecoveryManifestAppend(t *testing.T) {
 		o.DisableAutoRecovery = false
 		o.RecoveryBaseBackoff = time.Millisecond
 		o.EventListener = buf
+		o.EventSinkQueue = -1 // asserted mid-run
 	})
 	defer db.Close()
 
@@ -208,7 +210,7 @@ func TestAutoRecoveryManifestAppend(t *testing.T) {
 // until a manual Resume, which succeeds once the fault has healed.
 func TestResumeAfterHeal(t *testing.T) {
 	buf := &events.Buffer{}
-	db, ffs := newFaultTestDB(t, func(o *Options) { o.EventListener = buf })
+	db, ffs := newFaultTestDB(t, func(o *Options) { o.EventListener = buf; o.EventSinkQueue = -1 })
 	defer db.Close()
 
 	if err := db.Put(testKey(0), testValue(0)); err != nil {
@@ -312,6 +314,7 @@ func TestRecoveryGiveup(t *testing.T) {
 		o.RecoveryMaxBackoff = 2 * time.Millisecond
 		o.MaxRecoveryAttempts = 3
 		o.EventListener = buf
+		o.EventSinkQueue = -1 // asserted mid-run
 	})
 	defer db.Close()
 

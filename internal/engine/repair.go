@@ -221,18 +221,20 @@ func (db *DB) repairCompaction(level int, meta *manifest.FileMeta) error {
 	db.compacting = true
 	db.mu.Unlock()
 
-	var inputBytes int64
+	var inputBytes, upperBytes int64
 	for _, f := range c.inputs {
-		inputBytes += f.Size
+		upperBytes += f.Size
 	}
+	inputBytes = upperBytes
 	for _, f := range c.overlaps {
 		inputBytes += f.Size
 	}
 	db.emitCompactionBegin(c, inputBytes)
 	start := db.clk.Now()
 	stats, err := db.runCompaction(c)
+	compDur := db.clk.Now().Sub(start)
 	db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
-		stats.entries, db.clk.Now().Sub(start), err)
+		stats.entries, compDur, err)
 	c.base.Unref()
 
 	db.mu.Lock()
@@ -241,6 +243,9 @@ func (db *DB) repairCompaction(level int, meta *manifest.FileMeta) error {
 	db.mu.Unlock()
 	if err == nil {
 		db.metrics.Compactions.Add(1)
+		db.metrics.CompactionLatency.Record(compDur)
+		db.metrics.Levels[c.outputLevel].recordCompaction(
+			upperBytes, stats.read, stats.written, compDur)
 		db.deleteObsoleteFiles()
 	}
 	return err

@@ -66,8 +66,21 @@ type MetricsSnapshot struct {
 	CorruptionsRepaired int64
 	DataLossEvents      int64
 
-	PerfWriteOps int64
-	PerfReadOps  int64
+	FlushMean      time.Duration
+	FlushP99       time.Duration
+	CompactionMean time.Duration
+	CompactionP99  time.Duration
+	WALSyncMean    time.Duration
+	WALSyncP99     time.Duration
+	ScrubPassMean  time.Duration
+
+	SlowOps       int64
+	EventsDropped int64
+
+	PerfWriteOps         int64
+	PerfReadOps          int64
+	PerfBlockCacheHits   int64
+	PerfBlockCacheMisses int64
 }
 
 // Snapshot captures the current counter values. It is safe to call
@@ -127,8 +140,21 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CorruptionsRepaired: m.CorruptionsRepaired.Load(),
 		DataLossEvents:      m.DataLossEvents.Load(),
 
-		PerfWriteOps: m.PerfWriteOps.Load(),
-		PerfReadOps:  m.PerfReadOps.Load(),
+		FlushMean:      m.FlushLatency.Mean(),
+		FlushP99:       m.FlushLatency.Percentile(99),
+		CompactionMean: m.CompactionLatency.Mean(),
+		CompactionP99:  m.CompactionLatency.Percentile(99),
+		WALSyncMean:    m.WALSyncLatency.Mean(),
+		WALSyncP99:     m.WALSyncLatency.Percentile(99),
+		ScrubPassMean:  m.ScrubPassLatency.Mean(),
+
+		SlowOps:       m.SlowOps.Load(),
+		EventsDropped: m.EventsDropped.Load(),
+
+		PerfWriteOps:         m.PerfWriteOps.Load(),
+		PerfReadOps:          m.PerfReadOps.Load(),
+		PerfBlockCacheHits:   m.PerfBlockCacheHits.Load(),
+		PerfBlockCacheMisses: m.PerfBlockCacheMisses.Load(),
 	}
 }
 
@@ -140,29 +166,30 @@ func (m *Metrics) Report() string {
 	fmt.Fprintf(&b, "** Engine stats (uptime %v) **\n", s.Uptime.Round(time.Millisecond))
 	fmt.Fprintf(&b, "gets           : %d (mean %v, p99 %v)\n", s.Gets, s.GetMean, s.GetP99)
 	fmt.Fprintf(&b, "writes         : %d (mean %v, p99 %v)\n", s.Writes, s.WriteMean, s.WriteP99)
-	fmt.Fprintf(&b, "wal            : group latency mean %v, %d syncs (%d B)\n",
-		s.WALMean, s.WALSyncs, s.WALSyncBytes)
+	fmt.Fprintf(&b, "wal            : group latency mean %v, %d syncs (%d B; sync mean %v, p99 %v)\n",
+		s.WALMean, s.WALSyncs, s.WALSyncBytes, s.WALSyncMean, s.WALSyncP99)
 	fmt.Fprintf(&b, "stalls         : delay %v, stop %v in %d episodes\n",
 		s.StallDelayTotal.Round(time.Microsecond), s.StallStopTotal.Round(time.Microsecond), s.StallStops)
 	fmt.Fprintf(&b, "waiting writers: mean %.2f, max %d\n", s.WaitingWritersMean, s.WaitingWritersMax)
-	fmt.Fprintf(&b, "flush          : %d (%d B)\n", s.Flushes, s.FlushBytes)
-	fmt.Fprintf(&b, "compaction     : %d (read %d B, wrote %d B, merged %d entries)\n",
-		s.Compactions, s.CompactionBytesRead, s.CompactionBytesWritten, s.CompactionEntriesMerged)
+	fmt.Fprintf(&b, "flush          : %d (%d B; mean %v, p99 %v)\n",
+		s.Flushes, s.FlushBytes, s.FlushMean, s.FlushP99)
+	fmt.Fprintf(&b, "compaction     : %d (read %d B, wrote %d B, merged %d entries; mean %v, p99 %v)\n",
+		s.Compactions, s.CompactionBytesRead, s.CompactionBytesWritten, s.CompactionEntriesMerged,
+		s.CompactionMean, s.CompactionP99)
 	fmt.Fprintf(&b, "superversion   : %d installs, %d pinned (max %d), %d zombie SSTs deleted\n",
 		s.SuperVersionInstalls, s.PinnedVersions, s.PinnedVersionsMax, s.ZombieFilesDeleted)
 	fmt.Fprintf(&b, "read path      : mem %d, imm %d, L0 %d, deep %d, miss %d; L0 probes %d, bloom skips %d\n",
 		s.GetHitMemtable, s.GetHitImmutable, s.GetHitL0, s.GetHitDeep, s.GetMisses,
 		s.L0TablesProbed, s.BloomSkips)
-	if s.SoftErrors > 0 || s.HardErrors > 0 || s.RecoveryAttempts > 0 {
-		fmt.Fprintf(&b, "bg errors      : %d soft, %d hard; recovery %d attempts, %d recovered, %d gave up\n",
-			s.SoftErrors, s.HardErrors, s.RecoveryAttempts, s.RecoverySuccesses, s.RecoveryGiveups)
-	}
-	if s.ScrubPasses > 0 || s.ScrubbedBytes > 0 {
-		fmt.Fprintf(&b, "scrub          : %d passes, %d B verified\n", s.ScrubPasses, s.ScrubbedBytes)
-	}
-	if s.CorruptionsDetected > 0 {
-		fmt.Fprintf(&b, "integrity      : %d corruptions detected, %d quarantined, %d repaired, %d data-loss events\n",
-			s.CorruptionsDetected, s.FilesQuarantined, s.CorruptionsRepaired, s.DataLossEvents)
+	fmt.Fprintf(&b, "bg errors      : %d soft, %d hard; recovery %d attempts, %d recovered, %d gave up\n",
+		s.SoftErrors, s.HardErrors, s.RecoveryAttempts, s.RecoverySuccesses, s.RecoveryGiveups)
+	fmt.Fprintf(&b, "scrub          : %d passes (mean %v), %d B verified\n",
+		s.ScrubPasses, s.ScrubPassMean, s.ScrubbedBytes)
+	fmt.Fprintf(&b, "integrity      : %d corruptions detected, %d quarantined, %d repaired, %d data-loss events\n",
+		s.CorruptionsDetected, s.FilesQuarantined, s.CorruptionsRepaired, s.DataLossEvents)
+	if s.SlowOps > 0 || s.EventsDropped > 0 {
+		fmt.Fprintf(&b, "ops plane      : %d slow ops traced, %d events dropped\n",
+			s.SlowOps, s.EventsDropped)
 	}
 
 	if s.PerfWriteOps > 0 {
@@ -271,6 +298,8 @@ func (db *DB) StatsReport() string {
 	if db.blocks != nil {
 		fmt.Fprintf(&b, "block cache    : %s\n", db.blocks)
 	}
+	b.WriteString("** Per-level compaction stats **\n")
+	b.WriteString(db.LevelStats().String())
 	return b.String()
 }
 

@@ -80,6 +80,7 @@ func (db *DB) runScrubPass() {
 	}
 	db.releaseSV(sv)
 	db.emitScrub(events.KindScrubBegin, &events.Scrub{Pass: pass, Files: len(nums)})
+	passStart := db.clk.Now()
 
 	var scanned int64
 	corruptions := 0
@@ -125,6 +126,7 @@ func (db *DB) runScrubPass() {
 	}
 
 	db.metrics.ScrubPasses.Add(1)
+	db.metrics.ScrubPassLatency.Record(db.clk.Now().Sub(passStart))
 	db.emitScrub(events.KindScrubComplete, &events.Scrub{
 		Pass: pass, Files: len(nums), Bytes: scanned, Corruptions: corruptions,
 	})

@@ -95,7 +95,7 @@ func (db *DB) ApplyWithPerf(b *batch.Batch, syncWAL bool, pc *PerfContext) error
 	}
 	var before PerfContext
 	if pc == nil {
-		if db.opts.CollectPerf {
+		if db.opts.CollectPerf || db.opts.SlowOpThreshold > 0 {
 			pc = &PerfContext{}
 		}
 	} else {
@@ -169,6 +169,11 @@ func (db *DB) ApplyWithPerf(b *batch.Batch, syncWAL bool, pc *PerfContext) error
 	if pc != nil {
 		d := pc.diff(&before)
 		db.metrics.recordWritePerf(&d)
+		if t := db.opts.SlowOpThreshold; t > 0 && lat >= t {
+			db.emitSlowOp("write", lat, int(b.Count()), &d)
+		}
+	} else if t := db.opts.SlowOpThreshold; t > 0 && lat >= t {
+		db.emitSlowOp("write", lat, int(b.Count()), nil)
 	}
 	return w.err
 }
@@ -297,6 +302,7 @@ func (db *DB) leaderCommit(leader *writer) {
 			if walErr == nil {
 				db.metrics.WALSyncs.Add(1)
 				db.metrics.WALSyncBytes.Add(pending)
+				db.metrics.WALSyncLatency.Record(walEnd.Sub(appendDone))
 			}
 			db.emitWALSync(walNum, pending, walEnd.Sub(appendDone), walErr)
 		}
@@ -521,11 +527,13 @@ func (db *DB) rotateMemtableLocked(reason string) error {
 		pending := oldWAL.Pending()
 		t0 := db.clk.Now()
 		serr = oldWAL.Sync()
+		syncDur := db.clk.Now().Sub(t0)
 		if serr == nil {
 			db.metrics.WALSyncs.Add(1)
 			db.metrics.WALSyncBytes.Add(pending)
+			db.metrics.WALSyncLatency.Record(syncDur)
 		}
-		db.emitWALSync(oldWALNum, pending, db.clk.Now().Sub(t0), serr)
+		db.emitWALSync(oldWALNum, pending, syncDur, serr)
 		_ = oldWALFile.Close()
 	}
 	if serr != nil && newFile != nil {

@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -54,6 +56,8 @@ const (
 	KindQuarantine      Kind = "corruption_quarantine"
 	KindRepair          Kind = "corruption_repair"
 	KindDataLoss        Kind = "data_loss"
+
+	KindSlowOp Kind = "slow_op"
 )
 
 // Event is the envelope written as one JSON line. Exactly one payload
@@ -82,6 +86,8 @@ type Event struct {
 
 	Scrub     *Scrub     `json:"scrub,omitempty"`
 	Integrity *Integrity `json:"integrity,omitempty"`
+
+	SlowOp *SlowOp `json:"slow_op,omitempty"`
 }
 
 // Flush describes a memtable flush (begin and end share the struct;
@@ -261,6 +267,27 @@ type Integrity struct {
 	Largest  string `json:"largest,omitempty"`
 	// Detail carries the underlying corruption error.
 	Detail string `json:"detail,omitempty"`
+}
+
+// SlowOp is a threshold-triggered operation trace: an individual Get
+// or Apply whose end-to-end latency exceeded Options.SlowOpThreshold,
+// promoted out of the aggregate histograms into the event stream with
+// its full PerfContext stage breakdown — the "which stage ate the
+// time" answer for exactly the outlier operations an operator chases.
+type SlowOp struct {
+	// Op is the operation path: "get" or "write".
+	Op string `json:"op"`
+	// LatencyUS is the operation's end-to-end latency.
+	LatencyUS int64 `json:"latency_us"`
+	// ThresholdUS is the configured promotion threshold.
+	ThresholdUS int64 `json:"threshold_us"`
+	// Batch is the write-batch entry count (writes only).
+	Batch int `json:"batch,omitempty"`
+	// Stages maps stage name → time in microseconds, zero stages
+	// omitted. Names match PerfContext's String rendering (throttle,
+	// queue, stall, wal_append, wal_sync, mem_insert, mem_probe,
+	// imm_probe, l0_probe, deep_probe, block_read).
+	Stages map[string]int64 `json:"stages,omitempty"`
 }
 
 // Listener receives events. Implementations must be safe for
@@ -495,6 +522,18 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s DATA LOSS: sst=%d L%d dropped, keys [%s, %s] affected: %s",
 			ts, e.Integrity.FileNum, e.Integrity.Level, e.Integrity.Smallest,
 			e.Integrity.Largest, e.Integrity.Detail)
+	case KindSlowOp:
+		var stages strings.Builder
+		names := make([]string, 0, len(e.SlowOp.Stages))
+		for name := range e.SlowOp.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&stages, " %s=%dµs", name, e.SlowOp.Stages[name])
+		}
+		return fmt.Sprintf("%s SLOW %s: %dµs (threshold %dµs)%s",
+			ts, e.SlowOp.Op, e.SlowOp.LatencyUS, e.SlowOp.ThresholdUS, stages.String())
 	}
 	return fmt.Sprintf("%s %s", ts, e.Kind)
 }

@@ -144,6 +144,46 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return time.Duration(h.max)
 }
 
+// Bucket is one cumulative bucket of a histogram snapshot: Count
+// samples were ≤ UpperBound. The final bucket's UpperBound is
+// math.MaxInt64 (render as +Inf) and its Count equals the total.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper limit in nanoseconds.
+	UpperBound int64
+	// Count is the cumulative number of samples at or below UpperBound.
+	Count int64
+}
+
+// Buckets returns the cumulative bucket counts (Prometheus histogram
+// convention), skipping leading all-zero buckets but always including
+// the terminal +Inf bucket. Returns nil when the histogram is empty.
+func (h *Histogram) Buckets() []Bucket {
+	bs, _, _ := h.Export()
+	return bs
+}
+
+// Export returns the cumulative buckets together with the matching
+// count and sum, captured under one lock — so an exporter racing
+// concurrent Records still renders a consistent histogram (the +Inf
+// bucket always equals count, as the Prometheus format requires).
+func (h *Histogram) Export() (bs []Bucket, count int64, sum time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return nil, 0, 0
+	}
+	bs = make([]Bucket, 0, 16)
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum == 0 && bucketLimits[i] != math.MaxInt64 {
+			continue
+		}
+		bs = append(bs, Bucket{UpperBound: bucketLimits[i], Count: cum})
+	}
+	return bs, h.count, time.Duration(h.sum)
+}
+
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.mu.Lock()

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a minimal parser for the Prometheus text exposition
+// format (version 0.0.4) — just enough to validate that /metrics
+// output is well formed: HELP/TYPE comments reference the samples that
+// follow, label syntax is legal, values parse as floats, and histogram
+// families carry consistent cumulative buckets with a +Inf bound plus
+// _sum/_count series. It is used by the golden tests (obs and engine)
+// and by any tooling that wants to sanity-check an exposition without
+// pulling in the real Prometheus client libraries.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: the samples sharing a name (for
+// histograms, the _bucket/_sum/_count series are folded into the base
+// family).
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", "untyped"
+	Samples []PromSample
+}
+
+// ParsePromText parses a Prometheus text exposition. It returns the
+// families in declaration order and an error describing the first
+// malformed line or structural violation it finds.
+func ParsePromText(r io.Reader) ([]*PromFamily, error) {
+	var (
+		fams    []*PromFamily
+		byName  = map[string]*PromFamily{}
+		lineNum int
+	)
+	family := func(name string) *PromFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &PromFamily{Name: name, Type: "untyped"}
+		byName[name] = f
+		fams = append(fams, f)
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parsePromComment(line, family); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNum, err)
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNum, err)
+		}
+		base := promBaseName(s.Name, byName)
+		f := family(base)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := validatePromHistogram(f); err != nil {
+				return nil, fmt.Errorf("family %s: %w", f.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parsePromComment(line string, family func(string) *PromFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP: %q", line)
+		}
+		f := family(fields[2])
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		f := family(fields[2])
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", fields[2])
+		}
+		f.Type = fields[3]
+	}
+	return nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	// Metric name: up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample without value: %q", line)
+	}
+	s.Name = rest[:end]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := strings.LastIndexByte(rest, '}')
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set: %q", line)
+		}
+		if err := parsePromLabels(rest[1:close], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	// Value, optionally followed by a timestamp (which we ignore).
+	valStr := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		valStr = rest[:i]
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(in string, out map[string]string) error {
+	for in != "" {
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=': %q", in)
+		}
+		name := strings.TrimSpace(in[:eq])
+		if !validPromName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest := in[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value after %s", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch rest[i+1] {
+				case '\\', '"':
+					val.WriteByte(rest[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label %s", rest[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[name] = val.String()
+		in = strings.TrimLeft(rest[i+1:], " \t")
+		in = strings.TrimPrefix(in, ",")
+		in = strings.TrimLeft(in, " \t")
+	}
+	return nil
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// promBaseName folds histogram suffix series into their declared base
+// family when one exists.
+func promBaseName(name string, known map[string]*PromFamily) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f, exists := known[base]; exists && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// validatePromHistogram checks the structural rules for one histogram
+// family: every label combination has monotonically non-decreasing
+// cumulative buckets ending at le="+Inf", and the +Inf bucket equals
+// the _count series.
+func validatePromHistogram(f *PromFamily) error {
+	type series struct {
+		buckets map[float64]float64 // le -> cumulative count
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+	}
+	bySig := map[string]*series{}
+	sig := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := sig(labels)
+		s, ok := bySig[k]
+		if !ok {
+			s = &series{buckets: map[float64]float64{}}
+			bySig[k] = s
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("bad le %q: %v", leStr, err)
+			}
+			get(s.Labels).buckets[le] = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			se := get(s.Labels)
+			se.count, se.hasCnt = s.Value, true
+		case strings.HasSuffix(s.Name, "_sum"):
+			get(s.Labels).hasSum = true
+		default:
+			return fmt.Errorf("unexpected series %s in histogram family", s.Name)
+		}
+	}
+	for sigKey, se := range bySig {
+		if len(se.buckets) == 0 {
+			return fmt.Errorf("series %s has no buckets", sigKey)
+		}
+		les := make([]float64, 0, len(se.buckets))
+		for le := range se.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		last := les[len(les)-1]
+		if !math.IsInf(last, +1) {
+			return fmt.Errorf("series %s missing le=\"+Inf\" bucket", sigKey)
+		}
+		prev := -1.0
+		for _, le := range les {
+			if c := se.buckets[le]; c < prev {
+				return fmt.Errorf("series %s buckets not cumulative at le=%g", sigKey, le)
+			} else {
+				prev = c
+			}
+		}
+		if !se.hasCnt || !se.hasSum {
+			return fmt.Errorf("series %s missing _sum or _count", sigKey)
+		}
+		if se.buckets[last] != se.count {
+			return fmt.Errorf("series %s +Inf bucket %g != count %g", sigKey, se.buckets[last], se.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePromTextValid(t *testing.T) {
+	const in = `# HELP db_ops_total Operations served.
+# TYPE db_ops_total counter
+db_ops_total 1234
+# HELP db_cache_bytes Cache usage.
+# TYPE db_cache_bytes gauge
+db_cache_bytes{pool="block",shard="0"} 4.5e+06
+db_cache_bytes{pool="block",shard="1"} 100
+# HELP db_get_seconds Get latency.
+# TYPE db_get_seconds histogram
+db_get_seconds_bucket{le="0.001"} 5
+db_get_seconds_bucket{le="0.01"} 9
+db_get_seconds_bucket{le="+Inf"} 10
+db_get_seconds_sum 0.123
+db_get_seconds_count 10
+`
+	fams, err := ParsePromText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %d, want 3", len(fams))
+	}
+	if fams[0].Name != "db_ops_total" || fams[0].Type != "counter" ||
+		fams[0].Help != "Operations served." || len(fams[0].Samples) != 1 ||
+		fams[0].Samples[0].Value != 1234 {
+		t.Fatalf("counter family parsed wrong: %+v", fams[0])
+	}
+	if fams[1].Type != "gauge" || len(fams[1].Samples) != 2 ||
+		fams[1].Samples[0].Labels["pool"] != "block" ||
+		fams[1].Samples[0].Value != 4.5e6 {
+		t.Fatalf("gauge family parsed wrong: %+v", fams[1])
+	}
+	if fams[2].Type != "histogram" || len(fams[2].Samples) != 5 {
+		t.Fatalf("histogram family parsed wrong: %+v", fams[2])
+	}
+}
+
+func TestParsePromTextLabelEscapes(t *testing.T) {
+	in := `m{path="a\"b\\c\nd"} 1` + "\n"
+	fams, err := ParsePromText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := fams[0].Samples[0].Labels["path"]
+	if got != "a\"b\\c\nd" {
+		t.Fatalf("escaped label = %q", got)
+	}
+}
+
+func TestParsePromTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":          "9metric 1\n",
+		"bad value":         "metric one\n",
+		"unquoted label":    "metric{a=b} 1\n",
+		"unterminated":      "metric{a=\"b} 1\n",
+		"bad type":          "# TYPE m widget\nm 1\n",
+		"type after sample": "m 1\n# TYPE m counter\nm 2\n",
+		"no value":          "metric\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePromText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, in)
+		}
+	}
+}
+
+func TestParsePromTextRejectsBadHistogram(t *testing.T) {
+	cases := map[string]string{
+		"missing +Inf": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_sum 1
+h_count 5
+`,
+		"not cumulative": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"inf != count": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="+Inf"} 6
+h_sum 1
+h_count 5
+`,
+		"missing sum": `# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_count 5
+`,
+	}
+	for name, in := range cases {
+		if _, err := ParsePromText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse accepted bad histogram", name)
+		}
+	}
+}
+
+func TestParsePromTextHistogramLabelled(t *testing.T) {
+	// Labelled histogram series validate independently per label set.
+	const in = `# TYPE h histogram
+h_bucket{path="get",le="0.001"} 1
+h_bucket{path="get",le="+Inf"} 2
+h_sum{path="get"} 0.5
+h_count{path="get"} 2
+h_bucket{path="write",le="0.001"} 7
+h_bucket{path="write",le="+Inf"} 7
+h_sum{path="write"} 0.1
+h_count{path="write"} 7
+`
+	if _, err := ParsePromText(strings.NewReader(in)); err != nil {
+		t.Fatalf("labelled histogram rejected: %v", err)
+	}
+}

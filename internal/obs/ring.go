@@ -1,0 +1,36 @@
+package obs
+
+import "xpointdb/internal/events"
+
+// ring is a fixed-capacity event buffer: appends overwrite the oldest
+// entry once full, so a snapshot always returns the most recent
+// events in emission order. It is not self-locking — the Hub's mutex
+// guards every access, which is what makes subscribe-with-replay
+// atomic against concurrent emission.
+type ring struct {
+	buf   []events.Event
+	next  int // index the next append writes to
+	total int // lifetime appends (caps at len(buf) for fill tracking)
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]events.Event, capacity)}
+}
+
+func (r *ring) append(e events.Event) {
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.total < len(r.buf) {
+		r.total++
+	}
+}
+
+// snapshot returns the buffered events, oldest first.
+func (r *ring) snapshot() []events.Event {
+	out := make([]events.Event, 0, r.total)
+	if r.total < len(r.buf) {
+		return append(out, r.buf[:r.total]...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}

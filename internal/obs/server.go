@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"context"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"xpointdb/internal/events"
+)
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// Config wires an obs server to its data sources. Everything is a
+// callback so this package never imports the engine: the engine (or a
+// test) supplies closures over its own state.
+type Config struct {
+	// MetricsText writes the Prometheus text exposition body.
+	MetricsText func(w io.Writer)
+	// StatsText returns the human-readable stats report.
+	StatsText func() string
+	// Health reports liveness: ok=false yields a 503. Detail is a
+	// short human-readable status string either way.
+	Health func() (ok bool, detail string)
+	// Hub feeds /events. May be nil, in which case /events returns 503.
+	Hub *Hub
+	// PingInterval is the SSE keep-alive comment cadence (default 15s).
+	PingInterval time.Duration
+}
+
+// NewMux builds the ops-plane route table on a fresh mux:
+//
+//	/metrics      Prometheus text exposition
+//	/events       event stream as SSE (replay + live)
+//	/stats        human-readable stats report
+//	/healthz      JSON health, 200 or 503
+//	/debug/pprof  the standard runtime profiles
+//	/             embedded live dashboard (SSE + /metrics consumer)
+//
+// The mux is returned rather than installed globally so callers can
+// mount it wherever they like (own listener, sub-route of a bigger
+// server, httptest).
+func NewMux(cfg Config) *http.ServeMux {
+	if cfg.PingInterval <= 0 {
+		cfg.PingInterval = 15 * time.Second
+	}
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.MetricsText == nil {
+			http.Error(w, "metrics unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.MetricsText(w)
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.StatsText == nil {
+			http.Error(w, "stats unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, cfg.StatsText())
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ok, detail := true, "ok"
+		if cfg.Health != nil {
+			ok, detail = cfg.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"ok": ok, "status": detail})
+	})
+
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(cfg, w, r)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(dashboardHTML)
+	})
+
+	return mux
+}
+
+// serveSSE streams the hub to one client: ring replay first, then live
+// events, with periodic comment pings so proxies and clients detect
+// dead connections. Event framing is standard SSE — id: is the hub
+// sequence number, event: is the engine event kind, data: is the JSON
+// envelope (same schema as the JSON-lines sink).
+func serveSSE(cfg Config, w http.ResponseWriter, r *http.Request) {
+	if cfg.Hub == nil {
+		http.Error(w, "event stream unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	sub := cfg.Hub.Subscribe()
+	defer sub.Cancel()
+
+	for _, e := range sub.Replay {
+		if err := writeSSEEvent(w, e); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	ping := time.NewTicker(cfg.PingInterval)
+	defer ping.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ping.C:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case e, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			if err := writeSSEEvent(w, e); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSEEvent(w io.Writer, e events.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+	return err
+}
+
+// Server is a running ops-plane HTTP server bound to its own listener.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0" for an ephemeral port) and
+// serves the ops mux on it in a background goroutine. The returned
+// Server reports the bound address and shuts down cleanly on Close.
+func Serve(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewMux(cfg)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down, closing active SSE connections. It
+// bounds the shutdown so a wedged handler cannot block DB.Close.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// SSE streams don't finish on their own; force-close them.
+		s.srv.Close()
+	}
+	<-s.done
+	return err
+}

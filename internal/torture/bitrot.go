@@ -48,6 +48,9 @@ func runBitrot(cfg Config) error {
 	opts := engine.DefaultOptions(ffs)
 	geo.apply(&opts)
 	opts.EventListener = buf
+	// Synchronous event delivery: the oracles below assert on the
+	// buffer mid-run and must observe each event before the next op.
+	opts.EventSinkQueue = -1
 	opts.RecoveryBaseBackoff = time.Millisecond
 	opts.RecoveryMaxBackoff = 10 * time.Millisecond
 	opts.MaxRecoveryAttempts = 100

@@ -49,6 +49,7 @@ func runTransient(cfg Config) error {
 	opts := engine.DefaultOptions(ffs)
 	geo.apply(&opts)
 	opts.EventListener = buf
+	opts.EventSinkQueue = -1 // oracles assert on the buffer mid-run
 	// Tight backoffs keep iterations fast; the generous attempt budget
 	// means a giveup can only be a real bug (every rule below heals
 	// within a few fires or a few milliseconds).
