@@ -5,7 +5,7 @@ GO ?= go
 TORTURE_ITERS ?= 50
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier3 bench-observability bench-smoke obs-smoke
+.PHONY: all tier1 tier2 tier3 bench-observability bench-smoke bench-sharded-smoke obs-smoke
 
 all: tier1
 
@@ -30,8 +30,14 @@ tier2:
 # -seed N [-transient|-bitrot]`. Also runs a bounded pass of every
 # native fuzz target over the committed corpora (regenerate with
 # `go run ./cmd/genfuzzcorpus`).
+# The sharded run adds the cross-shard atomic-batch (2PC) contract on
+# top: no crash point may expose a torn cross-shard batch, and every
+# acknowledged one must survive in full. Repro failing seeds with
+# `go run ./cmd/torture -seed N -shards S`.
 tier3:
 	$(GO) test ./internal/engine -run 'TestTorture(CrashRecovery|TransientRecovery|BitrotRecovery)' -count=1 \
+		-args -torture.iters=$(TORTURE_ITERS)
+	$(GO) test ./internal/shardeddb -run TestTortureSharded -count=1 \
 		-args -torture.iters=$(TORTURE_ITERS)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzReadRecord$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWriterReaderRoundTrip$$' -fuzztime $(FUZZTIME)
@@ -46,6 +52,17 @@ tier3:
 # full before/after numbers live in BENCH_superversion.json.
 bench-smoke:
 	$(GO) run ./cmd/dbbench -device xpoint -benchmarks mixed -threads 8 -duration 5s
+
+# Sharded smoke: the range-sharded store on the simulated device —
+# mixed workload across 4 shards (shared cache/pool/controller), then
+# a zipfian hot-shard run showing the skewed load landing on shard 0
+# while the shared stall budget leaves cold shards unthrottled. The
+# full shards 1/4/8 matrix and the bare-vs-shards=1 overhead numbers
+# live in BENCH_sharded.json.
+bench-sharded-smoke:
+	$(GO) run ./cmd/dbbench -device xpoint -shards 4 -benchmarks mixed -threads 8 -duration 3s
+	$(GO) run ./cmd/dbbench -device xpoint -shards 4 -hot_shard_skew 1.3 \
+		-benchmarks readrandomwriterandom -threads 8 -duration 2s -num 8000
 
 # Ops-plane smoke: run dbbench on a real directory with -serve and
 # curl every HTTP endpoint (/healthz, /metrics, /stats, /events SSE,

@@ -8,6 +8,8 @@
 //	dbbench -device sata -benchmarks fillrandom -num 50000
 //	dbbench -path /tmp/bench -threads 4 -duration 5s   # real disk
 //	dbbench -device xpoint -faultprob 0.001 -faultheal 2s  # recovery under load
+//	dbbench -device xpoint -shards 4 -benchmarks mixed     # range-sharded store
+//	dbbench -device xpoint -shards 8 -hot_shard_skew 1.2   # zipfian hot shard
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"xpointdb/internal/engine"
 	"xpointdb/internal/events"
 	"xpointdb/internal/faultfs"
+	"xpointdb/internal/shardeddb"
 	"xpointdb/internal/sim"
 	"xpointdb/internal/storage"
 	"xpointdb/internal/throttle"
@@ -56,11 +59,19 @@ func main() {
 		faultHeal  = flag.Duration("faultheal", 0, "heal the injected fault this long (engine-clock time) after it first matches (0 = faults persist for the whole run)")
 		serveAddr  = flag.String("serve", "", "serve the HTTP ops plane on this address during the run (e.g. :8080 or 127.0.0.1:0); /metrics, /events, /stats, /healthz, /debug/pprof and a dashboard at /")
 		slowOp     = flag.Duration("slowop", 0, "trace operations slower than this as slow_op events with a stage breakdown (0 disables)")
+		shards     = flag.Int("shards", 0, "range-shard the store across this many engine instances with shared cache/pool/controller (0 or 1 = the bare single engine); boundaries split -num keys evenly")
+		hotSkew    = flag.Float64("hot_shard_skew", 0, "with -shards > 1: draw keys zipfian-hot toward shard 0 with this skew parameter (> 1; 0 = uniform)")
 	)
 	flag.Parse()
 
 	if *faultProb > 0 && *path != "" {
 		log.Fatalf("-faultprob requires the simulated device path (fault injection wraps the in-memory filesystem, not a real directory)")
+	}
+	if *hotSkew != 0 && *hotSkew <= 1 {
+		log.Fatalf("-hot_shard_skew must be > 1 (zipf s parameter), got %g", *hotSkew)
+	}
+	if *hotSkew > 1 && *shards < 2 {
+		log.Fatalf("-hot_shard_skew requires -shards > 1")
 	}
 
 	var evLog *events.EventLog
@@ -112,7 +123,7 @@ func main() {
 	}
 
 	if *path != "" {
-		runReal(*path, tweak, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, *stats)
+		runReal(*path, tweak, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, *stats, *shards, *hotSkew)
 		return
 	}
 
@@ -151,43 +162,77 @@ func main() {
 	wall := time.Now()
 	var res *workload.Result
 	var m *engine.Metrics
+	var ssum *shardedSummary
 	var finalStats string
 	var health engine.Health
 	k.Run(func() {
-		db, err := engine.Open(opts)
-		if err != nil {
-			log.Fatalf("open: %v", err)
-		}
-		if addr := db.ObsAddr(); addr != "" {
-			log.Printf("ops plane on http://%s (note: engine time is virtual here; prefer -path mode for interactive browsing)", addr)
-		}
 		armFaults := func() {}
 		if ffs != nil {
 			// Armed only after open and preload: the benchmark
 			// measures recovery under load, not a DB that cannot
-			// start or fill.
+			// start or fill. Sharded WALs live under "shard-NNN/", so
+			// the glob needs the extra path element (path.Match
+			// wildcards do not cross '/').
+			pat := "*.log"
+			if *shards > 1 {
+				pat = "*/*.log"
+			}
 			armFaults = func() {
 				ffs.AddRule(faultfs.Rule{
 					Ops:       []faultfs.Op{faultfs.OpSync},
-					Path:      "*.log",
+					Path:      pat,
 					Prob:      *faultProb,
 					HealAfter: *faultHeal,
 				})
 			}
 		}
-		res = runBenchmark(k, db, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, armFaults)
-		m = db.Metrics()
-		health = db.Health()
-		if *stats {
-			finalStats = db.StatsReport()
-		}
-		if err := db.Close(); err != nil {
-			log.Fatalf("close: %v", err)
+		if *shards > 1 {
+			sdb, err := shardeddb.Open(shardedOptions(opts, *shards, *num))
+			if err != nil {
+				log.Fatalf("open sharded: %v", err)
+			}
+			if addr := sdb.ObsAddr(); addr != "" {
+				log.Printf("ops plane on http://%s (note: engine time is virtual here; prefer -path mode for interactive browsing)", addr)
+			}
+			res = runBenchmark(k, sdb, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, *shards, *hotSkew, armFaults)
+			ssum = summarizeSharded(sdb)
+			health = sdb.Health()
+			if *stats {
+				finalStats = sdb.StatsReport()
+			}
+			if err := sdb.Close(); err != nil {
+				log.Fatalf("close: %v", err)
+			}
+		} else {
+			db, err := engine.Open(opts)
+			if err != nil {
+				log.Fatalf("open: %v", err)
+			}
+			if addr := db.ObsAddr(); addr != "" {
+				log.Printf("ops plane on http://%s (note: engine time is virtual here; prefer -path mode for interactive browsing)", addr)
+			}
+			res = runBenchmark(k, db, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, 0, 0, armFaults)
+			m = db.Metrics()
+			health = db.Health()
+			if *stats {
+				finalStats = db.StatsReport()
+			}
+			if err := db.Close(); err != nil {
+				log.Fatalf("close: %v", err)
+			}
 		}
 	})
 
-	fmt.Printf("benchmark      : %s on %s (simulated, virtual time)\n", *benchmarks, prof.Name)
-	printResult(res, m)
+	label := prof.Name
+	if *shards > 1 {
+		label = fmt.Sprintf("%s, %d shards", prof.Name, *shards)
+	}
+	fmt.Printf("benchmark      : %s on %s (simulated, virtual time)\n", *benchmarks, label)
+	if ssum != nil {
+		printShardedResult(res, ssum)
+	} else {
+		printResult(res, m)
+	}
 	if ffs != nil {
 		fmt.Printf("fault injection: WAL sync prob %.3g heal %v; %d faults injected; final health %v\n",
 			*faultProb, *faultHeal, ffs.InjectedCount(), health)
@@ -202,13 +247,37 @@ func main() {
 	fmt.Fprintf(os.Stderr, "[%v virtual simulated in %v wall]\n", res.Duration.Round(time.Millisecond), time.Since(wall).Round(time.Millisecond))
 }
 
-func runReal(path string, tweak func(*engine.Options), bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64, stats bool) {
+func runReal(path string, tweak func(*engine.Options), bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64, stats bool, shards int, hotSkew float64) {
 	fs, err := vfs.NewOS(path)
 	if err != nil {
 		log.Fatalf("open dir: %v", err)
 	}
 	opts := engine.DefaultOptions(fs)
 	tweak(&opts)
+	if shards > 1 {
+		sdb, err := shardeddb.Open(shardedOptions(opts, shards, num))
+		if err != nil {
+			log.Fatalf("open sharded: %v", err)
+		}
+		if addr := sdb.ObsAddr(); addr != "" {
+			log.Printf("ops plane on http://%s", addr)
+		}
+		res := runBenchmark(clock.Real{}, sdb, bench, threads, duration, num, valueSize, writeRatio, seed, shards, hotSkew, func() {})
+		ssum := summarizeSharded(sdb)
+		var finalStats string
+		if stats {
+			finalStats = sdb.StatsReport()
+		}
+		if err := sdb.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+		fmt.Printf("benchmark      : %s on %s (real clock, %d shards)\n", bench, path, shards)
+		printShardedResult(res, ssum)
+		if finalStats != "" {
+			fmt.Print(finalStats)
+		}
+		return
+	}
 	db, err := engine.Open(opts)
 	if err != nil {
 		log.Fatalf("open: %v", err)
@@ -216,7 +285,7 @@ func runReal(path string, tweak func(*engine.Options), bench string, threads int
 	if addr := db.ObsAddr(); addr != "" {
 		log.Printf("ops plane on http://%s", addr)
 	}
-	res := runBenchmark(clock.Real{}, db, bench, threads, duration, num, valueSize, writeRatio, seed, func() {})
+	res := runBenchmark(clock.Real{}, db, bench, threads, duration, num, valueSize, writeRatio, seed, 0, 0, func() {})
 	m := db.Metrics()
 	var finalStats string
 	if stats {
@@ -232,13 +301,28 @@ func runReal(path string, tweak func(*engine.Options), bench string, threads int
 	}
 }
 
-func runBenchmark(clk clock.Clock, db *engine.DB, bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64, armFaults func()) *workload.Result {
+// shardedOptions splits the benchmark keyspace evenly: shard i gets
+// keys [num*i/shards, num*(i+1)/shards). With -hot_shard_skew the
+// workload then concentrates on the low shards while the boundaries
+// stay even — the hot-shard scenario the shared stall budget and
+// L0-pressure pool scheduling exist for.
+func shardedOptions(eng engine.Options, shards, num int) shardeddb.Options {
+	b := make([][]byte, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		b = append(b, workload.Key(num*i/shards))
+	}
+	return shardeddb.Options{Shards: shards, Boundaries: b, Engine: eng}
+}
+
+func runBenchmark(clk clock.Clock, db workload.KV, bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64, shards int, hotSkew float64, armFaults func()) *workload.Result {
 	cfg := workload.Config{
-		Workers:   threads,
-		Duration:  duration,
-		KeySpace:  num,
-		ValueSize: valueSize,
-		Seed:      seed,
+		Workers:      threads,
+		Duration:     duration,
+		KeySpace:     num,
+		ValueSize:    valueSize,
+		Seed:         seed,
+		Shards:       shards,
+		HotShardSkew: hotSkew,
 	}
 	switch bench {
 	case "fillrandom":
@@ -301,5 +385,68 @@ func printResult(res *workload.Result, m *engine.Metrics) {
 	if m.ScrubPasses.Load()+m.ScrubbedBytes.Load() > 0 {
 		fmt.Printf("scrub          : %d passes, %d B verified, %d corruptions detected\n",
 			m.ScrubPasses.Load(), m.ScrubbedBytes.Load(), m.CorruptionsDetected.Load())
+	}
+}
+
+// shardedSummary captures everything printShardedResult needs before
+// the store is closed (the sim path prints outside k.Run).
+type shardedSummary struct {
+	snaps                              []engine.MetricsSnapshot
+	cacheUsed, cacheHits, cacheMisses  int64
+	poolGrants                         int64
+	cross, aborts, rolledFwd, abortedO int64
+}
+
+func summarizeSharded(sdb *shardeddb.DB) *shardedSummary {
+	s := &shardedSummary{}
+	for i := 0; i < sdb.NumShards(); i++ {
+		s.snaps = append(s.snaps, sdb.Shard(i).Metrics().Snapshot())
+	}
+	s.cacheUsed, s.cacheHits, s.cacheMisses = sdb.CacheStats()
+	_, _, s.poolGrants = sdb.Pool().Stats()
+	s.cross, s.aborts, s.rolledFwd, s.abortedO = sdb.TxnStats()
+	return s
+}
+
+func printShardedResult(res *workload.Result, s *shardedSummary) {
+	fmt.Printf("throughput     : %.1f kop/s (%d ops in %v)\n", res.Throughput()/1000, res.Ops(), res.Duration.Round(time.Millisecond))
+	if res.Reads > 0 {
+		fmt.Printf("read latency   : %s\n", res.ReadLat)
+	}
+	if res.Writes > 0 {
+		fmt.Printf("write latency  : %s\n", res.WriteLat)
+	}
+	fmt.Printf("read misses    : %d   errors: %d\n", res.ReadMisses, res.Errors)
+	var flushes, flushB, compactions, compR, compW, stops, soft, hard int64
+	var delay, stop time.Duration
+	for _, m := range s.snaps {
+		flushes += m.Flushes
+		flushB += m.FlushBytes
+		compactions += m.Compactions
+		compR += m.CompactionBytesRead
+		compW += m.CompactionBytesWritten
+		delay += m.StallDelayTotal
+		stop += m.StallStopTotal
+		stops += m.StallStops
+		soft += m.SoftErrors
+		hard += m.HardErrors
+	}
+	fmt.Printf("flushes        : %d (%d B)   compactions: %d (read %d B, wrote %d B)\n",
+		flushes, flushB, compactions, compR, compW)
+	fmt.Printf("stalls         : delay %v, stop %v in %d episodes (shared budget)\n",
+		delay.Round(time.Microsecond), stop.Round(time.Microsecond), stops)
+	fmt.Printf("shared cache   : %d B used, %d hits, %d misses; pool grants: %d\n",
+		s.cacheUsed, s.cacheHits, s.cacheMisses, s.poolGrants)
+	if s.cross+s.aborts+s.rolledFwd+s.abortedO > 0 {
+		fmt.Printf("cross-shard txn: %d committed, %d aborted, %d rolled forward, %d aborted at open\n",
+			s.cross, s.aborts, s.rolledFwd, s.abortedO)
+	}
+	if soft+hard > 0 {
+		fmt.Printf("bg errors      : %d soft, %d hard\n", soft, hard)
+	}
+	for i, m := range s.snaps {
+		fmt.Printf("  shard %-3d    : %d writes, %d gets, %d flushes, %d compactions, stall %v, write p99 %v\n",
+			i, m.Writes, m.Gets, m.Flushes, m.Compactions,
+			(m.StallDelayTotal + m.StallStopTotal).Round(time.Microsecond), m.WriteP99)
 	}
 }

@@ -20,14 +20,16 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "base seed; iteration i runs with seed+i")
-		iters   = flag.Int("iters", 1, "number of seeded iterations")
+		seed      = flag.Int64("seed", 1, "base seed; iteration i runs with seed+i")
+		iters     = flag.Int("iters", 1, "number of seeded iterations")
 		ops       = flag.Int("ops", 0, "workload ops per iteration (0 = default)")
 		keys      = flag.Int("keys", 0, "key-universe size (0 = default)")
 		transient = flag.Bool("transient", false,
 			"transient-fault mode: faults heal and the engine must auto-recover on the same handle (no crash/reopen)")
 		bitrot = flag.Bool("bitrot", false,
 			"silent-corruption mode: bit flips on SST reads; every corruption must be detected and repaired or reported, never served")
+		shards = flag.Int("shards", 0,
+			"sharded mode: run the workload against a range-sharded store with this many shards and check the cross-shard atomic-batch contract")
 		verbose = flag.Bool("v", false, "log per-iteration progress")
 	)
 	flag.Parse()
@@ -36,7 +38,7 @@ func main() {
 	failed := 0
 	for i := 0; i < *iters; i++ {
 		s := *seed + int64(i)
-		cfg := torture.Config{Seed: s, Ops: *ops, Keys: *keys, Transient: *transient, Bitrot: *bitrot}
+		cfg := torture.Config{Seed: s, Ops: *ops, Keys: *keys, Transient: *transient, Bitrot: *bitrot, Shards: *shards}
 		if *verbose {
 			cfg.Logf = func(format string, args ...interface{}) {
 				log.Printf("  seed %d: "+format, append([]interface{}{s}, args...)...)
@@ -51,6 +53,9 @@ func main() {
 			}
 			if *bitrot {
 				repro += " -bitrot"
+			}
+			if *shards > 1 {
+				repro += fmt.Sprintf(" -shards %d", *shards)
 			}
 			fmt.Fprintf(os.Stderr, "reproduce with: %s\n", repro)
 		} else if *verbose {

@@ -1,0 +1,111 @@
+// Package bgpool provides a priority-ordered token pool shared by the
+// background (flush/compaction) workers of several engine shards.
+//
+// Each shard still runs its own worker goroutines — they know their
+// shard's state and hold its locks — but a worker must acquire a pool
+// token before executing a job, so total background concurrency across
+// the whole sharded store is bounded by the pool size. When a token
+// frees up it goes to the highest-priority waiter, which lets the
+// sharded layer schedule across shards by L0 pressure: a shard with a
+// full L0 (stall risk) outranks a shard doing routine leveling, and
+// flushes outrank compactions (a stuck flush blocks that shard's
+// writes entirely).
+//
+// The pool is built on clock.Mutex/Cond so waiters park correctly
+// under both the real and the simulated clock (same pattern as
+// clock.Semaphore).
+package bgpool
+
+import "xpointdb/internal/clock"
+
+// Pool is a priority token pool. The zero value is not usable; create
+// one with New.
+type Pool struct {
+	m     clock.Mutex
+	c     clock.Cond
+	slots int
+	avail int
+
+	// waiters maps ticket → priority for processes blocked in Acquire.
+	// Ties break by ticket order (FIFO) so equal-priority shards make
+	// progress fairly.
+	waiters map[uint64]float64
+	next    uint64
+
+	grants int64
+}
+
+// New returns a pool with n tokens on clk.
+func New(clk clock.Clock, n int) *Pool {
+	if n <= 0 {
+		panic("bgpool: pool size must be positive")
+	}
+	m := clk.NewMutex()
+	return &Pool{m: m, c: clk.NewCond(m), slots: n, avail: n, waiters: make(map[uint64]float64)}
+}
+
+// Acquire takes one token, blocking until one is available and no
+// higher-priority waiter is queued. Higher prio wins; ties go to the
+// earlier arrival.
+func (p *Pool) Acquire(prio float64) {
+	p.m.Lock()
+	id := p.next
+	p.next++
+	p.waiters[id] = prio
+	for !(p.avail > 0 && p.topLocked() == id) {
+		p.c.Wait()
+	}
+	delete(p.waiters, id)
+	p.avail--
+	p.grants++
+	if p.avail > 0 && len(p.waiters) > 0 {
+		// More tokens remain; let the next-ranked waiter re-check.
+		p.c.Broadcast()
+	}
+	p.m.Unlock()
+}
+
+// Release returns one token and wakes the waiters so the best-ranked
+// one can claim it.
+func (p *Pool) Release() {
+	p.m.Lock()
+	p.avail++
+	if p.avail > p.slots {
+		p.m.Unlock()
+		panic("bgpool: Release without Acquire")
+	}
+	if len(p.waiters) > 0 {
+		p.c.Broadcast()
+	}
+	p.m.Unlock()
+}
+
+// topLocked returns the ticket of the best-ranked waiter: highest
+// priority, earliest ticket on ties. Caller holds p.m with at least
+// one waiter present.
+func (p *Pool) topLocked() uint64 {
+	var bestID uint64
+	bestPrio := 0.0
+	first := true
+	for id, prio := range p.waiters {
+		if first || prio > bestPrio || (prio == bestPrio && id < bestID) {
+			bestID, bestPrio, first = id, prio, false
+		}
+	}
+	return bestID
+}
+
+// Size reports the pool's token count.
+func (p *Pool) Size() int {
+	p.m.Lock()
+	defer p.m.Unlock()
+	return p.slots
+}
+
+// Stats reports instantaneous and cumulative pool state: tokens
+// currently held, processes blocked in Acquire, and total grants.
+func (p *Pool) Stats() (busy, waiting int, grants int64) {
+	p.m.Lock()
+	defer p.m.Unlock()
+	return p.slots - p.avail, len(p.waiters), p.grants
+}

@@ -1,0 +1,94 @@
+package bgpool
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"xpointdb/internal/clock"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := New(clock.Real{}, 2)
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Acquire(1)
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			p.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > 2 {
+		t.Fatalf("peak concurrency %d, want <= 2", peak)
+	}
+	busy, waiting, grants := p.Stats()
+	if busy != 0 || waiting != 0 {
+		t.Fatalf("pool not drained: busy=%d waiting=%d", busy, waiting)
+	}
+	if grants != 16 {
+		t.Fatalf("grants = %d, want 16", grants)
+	}
+}
+
+// TestPoolPriorityOrder parks several waiters behind a held token and
+// checks that release order follows priority, not arrival order.
+func TestPoolPriorityOrder(t *testing.T) {
+	p := New(clock.Real{}, 1)
+	p.Acquire(0) // hold the only token
+
+	var mu sync.Mutex
+	var order []float64
+	prios := []float64{1, 5, 3, 4, 2}
+	var wg sync.WaitGroup
+	for i, prio := range prios {
+		wg.Add(1)
+		go func(prio float64) {
+			defer wg.Done()
+			p.Acquire(prio)
+			mu.Lock()
+			order = append(order, prio)
+			mu.Unlock()
+			p.Release()
+		}(prio)
+		// Let each waiter park before the next arrives so arrival
+		// order is deterministic.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			_, waiting, _ := p.Stats()
+			if waiting == i+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never parked (waiting=%d)", i, waiting)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// All five parked; release the held token and let them drain.
+	_, waiting, _ := p.Stats()
+	if waiting != 5 {
+		t.Fatalf("waiting = %d, want 5", waiting)
+	}
+	p.Release()
+	wg.Wait()
+	want := []float64{5, 4, 3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("release order %v, want %v", order, want)
+		}
+	}
+}

@@ -119,7 +119,12 @@ func (db *DB) compactWorker() {
 		for !db.closed {
 			// Idle while a background error is latched: no version
 			// edit can be committed, so compaction work is wasted.
-			if db.bgErr == nil {
+			// Also idle while another compaction holds the flag (a
+			// manual CompactRange or a repair run releases db.mu
+			// mid-compaction): picking from the still-current version
+			// would select the same inputs and double-delete them at
+			// install ("delete of absent file").
+			if db.bgErr == nil && !db.compacting {
 				if c = db.pickCompactionLocked(); c != nil {
 					break
 				}
@@ -132,6 +137,35 @@ func (db *DB) compactWorker() {
 		}
 		if db.closed {
 			break
+		}
+		if db.opts.BGPool != nil {
+			// Shared pool: take a token before running. The pick made
+			// above proves work exists and prices the priority, but it
+			// can go stale while we wait for a token — drop it and
+			// re-pick once the token is held.
+			prio := db.compactPriorityLocked()
+			db.mu.Unlock()
+			db.opts.BGPool.Acquire(prio)
+			db.mu.Lock()
+			c.base.Unref()
+			c = nil
+			if db.closed || db.bgErr != nil {
+				db.opts.BGPool.Release()
+				if db.closed {
+					break
+				}
+				continue
+			}
+			if db.compacting {
+				// A manual or repair compaction started while we
+				// waited for the token; re-enter the wait loop.
+				db.opts.BGPool.Release()
+				continue
+			}
+			if c = db.pickCompactionLocked(); c == nil {
+				db.opts.BGPool.Release()
+				continue
+			}
 		}
 		db.compacting = true
 		db.mu.Unlock()
@@ -173,7 +207,10 @@ func (db *DB) compactWorker() {
 			// Wake anyone quiescing on db.compacting (error recovery).
 			db.bgCond.Broadcast()
 			// Timed backoff; see flushWorker for the livelock note.
+			// The token goes back first so the backoff can't starve
+			// other shards' jobs.
 			db.mu.Unlock()
+			db.releaseBGToken()
 			db.clk.Sleep(flushRetryBackoff)
 			db.mu.Lock()
 		} else {
@@ -187,6 +224,7 @@ func (db *DB) compactWorker() {
 		db.mu.Unlock()
 
 		if err == nil {
+			db.releaseBGToken()
 			// Rate feedback for Algorithm 1: compaction that leaves
 			// L0 above the slowdown line is "behind" (Prev ≤ Esti).
 			if db.stallActive() {

@@ -192,21 +192,35 @@ func Open(opts Options) (*DB, error) {
 	if db.walFS == nil {
 		db.walFS = db.fs
 	}
-	if opts.BlockCacheSize > 0 {
+	if opts.BlockCache != nil {
+		db.blocks = opts.BlockCache // shared, externally owned
+	} else if opts.BlockCacheSize > 0 {
 		db.blocks = cache.New(opts.BlockCacheSize)
 	}
-	db.tables = newTableCache(clk, db.fs, db.blocks)
+	db.tables = newTableCache(clk, db.fs, db.blocks, opts.CacheID)
 	db.wireEventHub() // may replace db.ev with the hub (serve.go)
-	tcfg := throttle.Config{
-		Mode:             opts.ThrottleMode,
-		DelayedWriteRate: opts.DelayedWriteRate,
-		FloorRate:        opts.TwoStageFloorRate,
+	if opts.ShardTag != 0 && db.ev != nil {
+		inner, tag := db.ev, opts.ShardTag
+		db.ev = events.Func(func(e events.Event) {
+			e.Shard = tag
+			inner.Emit(e)
+		})
 	}
-	if db.ev != nil {
-		// Surface every Algorithm 1 Dec/Inc step in the event stream.
-		tcfg.RateChanged = db.emitRateChange
+	if opts.Controller != nil {
+		// Shared, externally owned: the owner wired RateChanged.
+		db.controller = opts.Controller
+	} else {
+		tcfg := throttle.Config{
+			Mode:             opts.ThrottleMode,
+			DelayedWriteRate: opts.DelayedWriteRate,
+			FloorRate:        opts.TwoStageFloorRate,
+		}
+		if db.ev != nil {
+			// Surface every Algorithm 1 Dec/Inc step in the event stream.
+			tcfg.RateChanged = db.emitRateChange
+		}
+		db.controller = throttle.New(clk, tcfg)
 	}
-	db.controller = throttle.New(clk, tcfg)
 	db.mu = clk.NewMutex()
 	db.bgCond = clk.NewCond(db.mu)
 	db.recoveryCond = clk.NewCond(db.mu)
@@ -455,6 +469,11 @@ func (db *DB) Close() error {
 	if cerr := db.vs.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
+	if db.opts.Controller != nil {
+		// Shared controller: withdraw this shard's stall vote so a
+		// closed shard can't keep the global budget throttled.
+		db.controller.SetSourceState(db.opts.StallSource, throttle.StateClear)
+	}
 	// Tear down the ops plane last: every background worker has exited,
 	// so the event stream is complete; closing the hub drains the sink
 	// fully before the HTTP server stops answering.
@@ -535,7 +554,7 @@ func (db *DB) updateStallStateLocked() {
 		db.opts.logf("stall state %v -> %v (L0=%d)", db.stallState, s, l0)
 		old := db.stallState
 		db.stallState = s
-		db.controller.SetState(s)
+		db.controller.SetSourceState(db.opts.StallSource, s)
 		db.emitStallChangeLocked(old, s, l0)
 		if s != throttle.StateStopped {
 			// Unblock writers waiting on a stop condition.

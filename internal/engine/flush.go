@@ -31,6 +31,20 @@ func (db *DB) flushWorker() {
 			// are recovered on the next open.
 			break
 		}
+		if db.opts.BGPool != nil {
+			// Shared pool: take a token before running the job. Drop
+			// db.mu while blocked (the pool parks on its own cond), and
+			// re-check the world afterwards — the queue may have been
+			// drained by error recovery, or the DB closed.
+			prio := db.flushPriorityLocked()
+			db.mu.Unlock()
+			db.opts.BGPool.Acquire(prio)
+			db.mu.Lock()
+			if db.closed || len(db.imms) == 0 || db.bgErr != nil {
+				db.opts.BGPool.Release()
+				continue
+			}
+		}
 		fm := db.imms[0]
 		num := db.vs.AllocFileNum()
 		db.flushing = true
@@ -83,6 +97,9 @@ func (db *DB) flushWorker() {
 				// reference protects it; remove it directly.
 				_ = db.fs.Remove(manifest.SSTName(num))
 			}
+			// Give the token back before backing off: a sleeping
+			// worker must not starve other shards' jobs.
+			db.releaseBGToken()
 			// Leave the immutable queued and retry after a timed
 			// backoff. (An untimed cond wait here can livelock with
 			// a write leader stalled on the full immutable queue:
@@ -106,6 +123,7 @@ func (db *DB) flushWorker() {
 			if db.stallActive() {
 				db.controller.AdjustRate(behind)
 			}
+			db.releaseBGToken()
 			db.deleteObsoleteFiles()
 		}
 		db.mu.Lock()
@@ -122,6 +140,38 @@ const compactChargeBatch = 128
 // flushRetryBackoff paces background retries after flush or compaction
 // failures (transient filesystem errors).
 const flushRetryBackoff = 10 * time.Millisecond
+
+// flushPriorityBias ranks every flush above every compaction in a
+// shared background pool: an unflushed immutable queue stops that
+// shard's writes outright, which is strictly worse than any amount of
+// L0 accumulation.
+const flushPriorityBias = 1 << 20
+
+// flushPriorityLocked scores a pending flush for the shared pool:
+// flushes always outrank compactions, and among flushes, deeper
+// immutable queues and fuller L0s (closer to this shard's stop
+// trigger) go first. Caller holds db.mu.
+func (db *DB) flushPriorityLocked() float64 {
+	l0 := db.vs.Current().NumFiles(0)
+	return flushPriorityBias + float64(len(db.imms))*100 +
+		float64(l0)/float64(db.opts.L0StopTrigger)*100
+}
+
+// compactPriorityLocked scores a pending compaction for the shared
+// pool by stall risk: L0 pressure relative to this shard's slowdown
+// trigger dominates, so the pool drains the shard closest to stalling
+// first. Caller holds db.mu.
+func (db *DB) compactPriorityLocked() float64 {
+	l0 := db.vs.Current().NumFiles(0)
+	return float64(l0) / float64(db.opts.L0SlowdownTrigger) * 100
+}
+
+// releaseBGToken returns the shared-pool token, if pools are in use.
+func (db *DB) releaseBGToken() {
+	if db.opts.BGPool != nil {
+		db.opts.BGPool.Release()
+	}
+}
 
 // stallActive reports whether any throttling state is in force.
 func (db *DB) stallActive() bool {

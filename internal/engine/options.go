@@ -4,6 +4,8 @@ import (
 	"io"
 	"time"
 
+	"xpointdb/internal/bgpool"
+	"xpointdb/internal/cache"
 	"xpointdb/internal/clock"
 	"xpointdb/internal/costmodel"
 	"xpointdb/internal/events"
@@ -64,6 +66,42 @@ type Options struct {
 	Compression sstable.Compression
 	// BlockCacheSize is the block cache capacity in bytes.
 	BlockCacheSize int64
+	// BlockCache, if non-nil, is an externally owned block cache shared
+	// with other engine instances (shards of a ShardedDB). When set,
+	// BlockCacheSize is ignored and the engine neither sizes nor owns
+	// the cache. Sharers must carry distinct CacheIDs.
+	BlockCache *cache.Cache
+	// CacheID disambiguates this engine's file numbers inside a shared
+	// BlockCache. Cache keys are (file number, offset); independent
+	// engines allocate the same small sequential file numbers, so a
+	// shared cache would alias their blocks. The ID is OR-ed into the
+	// high bits of the file number used for cache keying (use
+	// uint64(shard+1)<<48; file numbers stay far below 2^48). Zero
+	// means no salting — correct whenever the cache is not shared.
+	CacheID uint64
+
+	// Controller, if non-nil, is an externally owned write controller
+	// shared with other shards: one token bucket, one delayed-write
+	// rate, a global stall budget. The engine then reports its stall
+	// state under StallSource instead of owning the controller, and
+	// the owner is responsible for Config.RateChanged wiring.
+	Controller *throttle.Controller
+	// StallSource identifies this engine to a shared Controller
+	// (SetSourceState). Ignored when Controller is nil.
+	StallSource int
+
+	// BGPool, if non-nil, gates flush/compaction job execution behind
+	// a token pool shared across shards: each background job acquires
+	// a token (priority-ordered by stall risk — flushes over
+	// compactions, L0 pressure breaking ties) before running and
+	// releases it after. Nil leaves the engine's own two dedicated
+	// workers ungated, exactly the single-DB behavior.
+	BGPool *bgpool.Pool
+
+	// ShardTag, when nonzero, stamps every event this engine emits
+	// with Shard=ShardTag (1-based; 0 = unsharded) so a shared event
+	// stream can attribute flushes, stalls, etc. to a shard.
+	ShardTag int
 
 	// DisableWAL skips the write-ahead log entirely (Figure 17).
 	DisableWAL bool

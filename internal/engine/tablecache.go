@@ -16,6 +16,10 @@ import (
 type tableCache struct {
 	fs     vfs.FS
 	blocks *cache.Cache // may be nil
+	// salt is OR-ed into the file number used for block-cache keys
+	// (Options.CacheID). Shards sharing one cache allocate the same
+	// small file numbers; the salt keeps their blocks from aliasing.
+	salt uint64
 
 	mu      clock.Mutex
 	cond    clock.Cond
@@ -23,11 +27,12 @@ type tableCache struct {
 	loading map[uint64]bool
 }
 
-func newTableCache(clk clock.Clock, fs vfs.FS, blocks *cache.Cache) *tableCache {
+func newTableCache(clk clock.Clock, fs vfs.FS, blocks *cache.Cache, salt uint64) *tableCache {
 	mu := clk.NewMutex()
 	return &tableCache{
 		fs:      fs,
 		blocks:  blocks,
+		salt:    salt,
 		mu:      mu,
 		cond:    clk.NewCond(mu),
 		readers: make(map[uint64]*sstable.Reader),
@@ -54,7 +59,7 @@ func (tc *tableCache) get(meta *manifest.FileMeta) (*sstable.Reader, error) {
 	f, err := tc.fs.Open(manifest.SSTName(meta.Num))
 	var r *sstable.Reader
 	if err == nil {
-		r, err = sstable.NewReader(f, meta.Size, meta.Num, tc.blocks)
+		r, err = sstable.NewReader(f, meta.Size, tc.salt|meta.Num, tc.blocks)
 		if err != nil {
 			f.Close()
 		}
@@ -84,7 +89,7 @@ func (tc *tableCache) evict(num uint64) {
 		r.Close()
 	}
 	if tc.blocks != nil {
-		tc.blocks.EvictFile(num)
+		tc.blocks.EvictFile(tc.salt | num)
 	}
 }
 

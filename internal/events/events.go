@@ -71,6 +71,9 @@ type Event struct {
 	// simulation kernel, so streams are deterministic).
 	TS   time.Time `json:"ts"`
 	Kind Kind      `json:"event"`
+	// Shard attributes the event to one shard of a sharded store
+	// (1-based shard number; 0 = unsharded engine).
+	Shard int `json:"shard,omitempty"`
 
 	Flush      *Flush      `json:"flush,omitempty"`
 	Compaction *Compaction `json:"compaction,omitempty"`

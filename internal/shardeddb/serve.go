@@ -1,0 +1,143 @@
+package shardeddb
+
+import (
+	"fmt"
+	"strings"
+
+	"xpointdb/internal/engine"
+	"xpointdb/internal/events"
+	"xpointdb/internal/obs"
+	"xpointdb/internal/throttle"
+)
+
+// eventsSink is the shared tagged stream every shard forwards into.
+type eventsSink = events.Listener
+
+// wireEvents builds the single event stream for the whole store,
+// mirroring the engine's own hub wiring (engine/serve.go): the
+// caller's listener plus the ops plane hang off one obs.Hub, and each
+// shard emits synchronously into it through a tagging forwarder that
+// stamps the shard dimension. Called from Open before shards exist.
+func (db *DB) wireEvents() {
+	listener := db.opts.Engine.EventListener
+	async := listener != nil && db.opts.Engine.EventSinkQueue >= 0
+	needHub := async || db.opts.Engine.ObsAddr != ""
+	if needHub {
+		hcfg := obs.HubConfig{SinkQueue: db.opts.Engine.EventSinkQueue}
+		if async {
+			hcfg.Sink = listener
+			hcfg.OnSinkDrop = func() { db.eventsDropped.Add(1) }
+		}
+		db.hub = obs.NewHub(hcfg)
+	}
+	switch {
+	case async:
+		db.ev = db.hub
+	case listener != nil && db.hub != nil:
+		db.ev = events.Tee(listener, db.hub)
+	case listener != nil:
+		db.ev = listener
+	case db.hub != nil:
+		db.ev = db.hub
+	}
+}
+
+// shardListener returns the tagging forwarder installed as shard i's
+// EventListener: it stamps Shard (1-based) and forwards to the shared
+// stream. Nil when no stream is configured, so emission stays free.
+func (db *DB) shardListener(i int) events.Listener {
+	if db.ev == nil {
+		return nil
+	}
+	shard := i + 1
+	return events.Func(func(e events.Event) {
+		e.Shard = shard
+		db.ev.Emit(e)
+	})
+}
+
+// emitRateChange surfaces the shared controller's Algorithm 1 steps.
+// Shard is left 0: the rate is a store-wide property.
+func (db *DB) emitRateChange(oldRate, newRate float64, behind bool) {
+	if db.ev == nil {
+		return
+	}
+	factor := throttle.Inc
+	if behind {
+		factor = throttle.Dec
+	}
+	db.ev.Emit(events.Event{
+		TS:   db.clk.Now(),
+		Kind: events.KindRateChange,
+		Rate: &events.Rate{OldRate: oldRate, NewRate: newRate, Factor: factor, Behind: behind},
+	})
+}
+
+// startObsServer binds the combined HTTP ops plane when
+// Options.Engine.ObsAddr is set.
+func (db *DB) startObsServer() error {
+	if db.opts.Engine.ObsAddr == "" {
+		return nil
+	}
+	srv, err := obs.Serve(db.opts.Engine.ObsAddr, obs.Config{
+		MetricsText: db.WritePrometheus,
+		StatsText:   db.StatsReport,
+		Health: func() (bool, string) {
+			h := db.Health()
+			return h == engine.Healthy, fmt.Sprintf("%v (%d shards)", h, len(db.shards))
+		},
+		Hub: db.hub,
+	})
+	if err != nil {
+		return fmt.Errorf("shardeddb: ops server: %w", err)
+	}
+	db.obsSrv = srv
+	return nil
+}
+
+// ObsAddr returns the bound ops-server address ("" when disabled).
+func (db *DB) ObsAddr() string {
+	if db.obsSrv == nil {
+		return ""
+	}
+	return db.obsSrv.Addr()
+}
+
+// SyncEvents blocks until every event emitted so far reached the
+// configured listener (async sink only; no-op otherwise).
+func (db *DB) SyncEvents() {
+	if db.hub != nil {
+		db.hub.Sync()
+	}
+}
+
+// StatsReport renders the combined human-readable report: shared
+// resources first, then each shard's full engine report.
+func (db *DB) StatsReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== sharded store: %d shards ==\n", len(db.shards))
+	if db.blocks != nil {
+		fmt.Fprintf(&b, "shared block cache: %s\n", db.blocks.String())
+	}
+	busy, waiting, grants := db.pool.Stats()
+	fmt.Fprintf(&b, "bg pool: slots=%d busy=%d waiting=%d grants=%d\n",
+		db.pool.Size(), busy, waiting, grants)
+	cross, aborts, rf, ab := db.TxnStats()
+	fmt.Fprintf(&b, "cross-shard txns: committed=%d aborted=%d rolled_forward=%d aborted_at_open=%d pending=%d\n",
+		cross, aborts, rf, ab, db.pendingTxns())
+	total, delayedOps, adjustments := db.controller.Stats()
+	fmt.Fprintf(&b, "write controller: state=%v rate=%.0fB/s delay_total=%v delayed_ops=%d adjustments=%d\n",
+		db.controller.CurrentState(), db.controller.Rate(), total, delayedOps, adjustments)
+	for i, s := range db.shards {
+		start, end := db.ShardRange(i)
+		fmt.Fprintf(&b, "\n-- shard %d [%q, %q) --\n", i, start, end)
+		b.WriteString(s.StatsReport())
+	}
+	return b.String()
+}
+
+func (db *DB) pendingTxns() int {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	return len(db.txnPending)
+}

@@ -1,0 +1,542 @@
+// Package shardeddb partitions the keyspace across N independent
+// engine.DB instances ("shards") behind the engine's public API. It is
+// the scale-out answer to the paper's Algorithm-2 finding: every write
+// in a single engine funnels through one group-commit leader, so on
+// fast devices (PCIe flash, 3D XPoint) the writer queue — not the
+// device — is the ceiling. Range sharding gives each shard its own
+// writer queue, WAL, memtable and LSM tree, multiplying the commit
+// paths while keys stay ordered for range scans (a full iteration is
+// the plain concatenation of the shards' iterations).
+//
+// What is NOT duplicated per shard — shared resources:
+//
+//   - One block cache (engine Options.BlockCache + CacheID salting),
+//     so hot shards can use the whole memory budget.
+//   - One background worker pool (internal/bgpool): each shard still
+//     runs its own flush/compaction goroutines, but a job must hold a
+//     pool token to execute, and tokens go to the highest-priority
+//     waiter — flushes before compactions, the shard nearest its stall
+//     trigger first. Cross-shard scheduling by L0 pressure.
+//   - One write controller (throttle.Controller.SetSourceState): a
+//     global delayed-write budget where the worst shard's stall state
+//     governs, so total foreground ingest respects one global rate.
+//   - One event/metrics/Prometheus stream: every engine event carries
+//     a `shard` dimension, and a single HTTP ops plane (internal/obs)
+//     serves the combined /metrics, /stats, /events and /healthz.
+//
+// Cross-shard atomic batches use a two-phase commit with presumed
+// abort (txn.go): prepare records carrying the sub-batch payload are
+// made durable in every participant, then a commit record in the
+// coordinator log (meta namespace) is the commit point, then the data
+// applies. Crash anywhere never exposes a torn batch: recovery at open
+// rolls committed transactions forward and aborts the rest.
+//
+// Layout: one underlying filesystem holds every shard under a
+// "shard-NNN/" prefix (vfs.NewPrefix) plus a "meta/" namespace for the
+// coordinator log, so a single crash snapshot captures the whole store
+// at one instant. Callers on a real OS filesystem can instead hand
+// each shard its own directory (Options.ShardFS/MetaFS).
+package shardeddb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"xpointdb/internal/batch"
+	"xpointdb/internal/bgpool"
+	"xpointdb/internal/cache"
+	"xpointdb/internal/clock"
+	"xpointdb/internal/engine"
+	"xpointdb/internal/keys"
+	"xpointdb/internal/obs"
+	"xpointdb/internal/throttle"
+	"xpointdb/internal/vfs"
+	"xpointdb/internal/wal"
+)
+
+// ErrNotFound re-exports the engine's miss sentinel.
+var ErrNotFound = engine.ErrNotFound
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("shardeddb: database is closed")
+
+// ErrReservedKey rejects user keys in the internal 0x00-prefixed
+// keyspace, which the two-phase commit machinery owns (prepare
+// records, WAL-sync markers).
+var ErrReservedKey = errors.New("shardeddb: keys beginning with 0x00 are reserved")
+
+// Options configures a sharded DB.
+type Options struct {
+	// Shards is the number of engine instances (≥ 1).
+	Shards int
+
+	// Boundaries are the Shards-1 split keys, ascending: shard i holds
+	// keys in [Boundaries[i-1], Boundaries[i]). Empty with Shards > 1
+	// defaults to UniformBoundaries(Shards).
+	Boundaries [][]byte
+
+	// Engine is the per-shard option template. FS is the base
+	// filesystem carved into "shard-NNN/" + "meta/" prefixes (unless
+	// ShardFS/MetaFS below override the layout). BlockCacheSize is the
+	// TOTAL budget of the one shared cache. EventListener/
+	// EventSinkQueue/ObsAddr configure the single shared event stream
+	// and ops server. BlockCache, Controller, BGPool, CacheID,
+	// StallSource and ShardTag must be left zero — the sharded layer
+	// owns them.
+	Engine engine.Options
+
+	// ShardFS, if non-nil, supplies shard i's filesystem instead of
+	// the default prefix layout (e.g. one real directory per device).
+	ShardFS func(i int) (vfs.FS, error)
+	// MetaFS, if non-nil, holds the coordinator state (transaction
+	// log) instead of the default "meta/" prefix of Engine.FS.
+	MetaFS vfs.FS
+
+	// PoolSlots sizes the shared background pool. Default
+	// max(2, Shards) — enough that a single shard is never starved,
+	// while 2×Shards worker goroutines contend for Shards tokens.
+	PoolSlots int
+}
+
+// UniformBoundaries splits the full byte keyspace into n ranges by
+// first byte — the right default when keys are uniformly distributed
+// in their leading byte. Workload-aware callers should pass explicit
+// boundaries instead.
+func UniformBoundaries(n int) [][]byte {
+	b := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		b = append(b, []byte{byte(256 * i / n)})
+	}
+	return b
+}
+
+// DB is a range-sharded store over N engine instances.
+type DB struct {
+	opts       Options
+	clk        clock.Clock
+	shards     []*engine.DB
+	boundaries [][]byte
+
+	blocks     *cache.Cache
+	pool       *bgpool.Pool
+	controller *throttle.Controller
+
+	ev     eventsSink // shared tagged event stream (serve.go)
+	hub    *obs.Hub
+	obsSrv *obs.Server
+
+	metaFS vfs.FS
+
+	// Coordinator (two-phase commit) state — txn.go.
+	txnMu      sync.Mutex
+	txnLog     *wal.Writer
+	txnFile    vfs.File
+	txnName    string
+	txnEpoch   uint32
+	txnGen     int // rotation generation within the epoch
+	txnCounter uint32
+	txnPending map[uint64]bool
+	txnDirty   int // commits since last rotation
+
+	closed atomic.Bool
+
+	// Cross-shard transaction counters (Prometheus + tests).
+	crossBatches   atomic.Int64
+	txnAborts      atomic.Int64
+	txnP2Failures  atomic.Int64
+	rolledForward  atomic.Int64
+	abortedAtOpen  atomic.Int64
+	eventsDropped  atomic.Int64
+	txnLogRotation atomic.Int64
+}
+
+// Open opens (creating if necessary) a sharded store.
+func Open(opts Options) (*DB, error) {
+	if opts.Shards < 1 {
+		return nil, errors.New("shardeddb: Options.Shards must be >= 1")
+	}
+	if opts.Engine.FS == nil && (opts.ShardFS == nil || opts.MetaFS == nil) {
+		return nil, errors.New("shardeddb: Options.Engine.FS is required (or ShardFS+MetaFS)")
+	}
+	if opts.Engine.BlockCache != nil || opts.Engine.Controller != nil ||
+		opts.Engine.BGPool != nil || opts.Engine.CacheID != 0 || opts.Engine.ShardTag != 0 {
+		return nil, errors.New("shardeddb: shared-resource engine options are owned by the sharded layer")
+	}
+	if len(opts.Boundaries) == 0 && opts.Shards > 1 {
+		opts.Boundaries = UniformBoundaries(opts.Shards)
+	}
+	if len(opts.Boundaries) != opts.Shards-1 {
+		return nil, fmt.Errorf("shardeddb: %d boundaries for %d shards (want %d)",
+			len(opts.Boundaries), opts.Shards, opts.Shards-1)
+	}
+	for i, b := range opts.Boundaries {
+		if len(b) == 0 || b[0] == 0 {
+			return nil, fmt.Errorf("shardeddb: boundary %d empty or in reserved keyspace", i)
+		}
+		if i > 0 && bytes.Compare(opts.Boundaries[i-1], b) >= 0 {
+			return nil, fmt.Errorf("shardeddb: boundaries not strictly ascending at %d", i)
+		}
+	}
+	clk := opts.Engine.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+
+	db := &DB{
+		opts:       opts,
+		clk:        clk,
+		boundaries: opts.Boundaries,
+		txnPending: make(map[uint64]bool),
+	}
+
+	// Shared resources.
+	cacheSize := opts.Engine.BlockCacheSize
+	if cacheSize == 0 {
+		cacheSize = engine.DefaultOptions(nil).BlockCacheSize
+	}
+	if cacheSize > 0 {
+		db.blocks = cache.New(cacheSize)
+	}
+	slots := opts.PoolSlots
+	if slots <= 0 {
+		slots = opts.Shards
+		if slots < 2 {
+			slots = 2
+		}
+	}
+	db.pool = bgpool.New(clk, slots)
+	db.wireEvents() // serve.go: hub + tagged sink
+	tcfg := throttle.Config{
+		Mode:             opts.Engine.ThrottleMode,
+		DelayedWriteRate: opts.Engine.DelayedWriteRate,
+		FloorRate:        opts.Engine.TwoStageFloorRate,
+	}
+	if db.ev != nil {
+		tcfg.RateChanged = db.emitRateChange
+	}
+	db.controller = throttle.New(clk, tcfg)
+
+	// Filesystems: default layout is one base FS with per-shard
+	// prefixes plus a meta namespace.
+	db.metaFS = opts.MetaFS
+	if db.metaFS == nil {
+		db.metaFS = vfs.NewPrefix(opts.Engine.FS, "meta/")
+	}
+
+	// Open every shard with the shared resources injected.
+	db.shards = make([]*engine.DB, opts.Shards)
+	for i := range db.shards {
+		var sfs vfs.FS
+		var err error
+		if opts.ShardFS != nil {
+			sfs, err = opts.ShardFS(i)
+		} else {
+			sfs = vfs.NewPrefix(opts.Engine.FS, fmt.Sprintf("shard-%03d/", i))
+		}
+		if err == nil {
+			db.shards[i], err = engine.Open(db.shardOptions(i, sfs))
+		}
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = db.shards[j].Close()
+			}
+			db.closeShared()
+			return nil, fmt.Errorf("shardeddb: open shard %d: %w", i, err)
+		}
+	}
+
+	// Resolve in-flight cross-shard transactions from the last run,
+	// then start a fresh coordinator epoch.
+	if err := db.recoverTxns(); err != nil {
+		for _, s := range db.shards {
+			_ = s.Close()
+		}
+		db.closeShared()
+		return nil, err
+	}
+
+	if err := db.startObsServer(); err != nil {
+		_ = db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// shardOptions builds shard i's engine options from the template.
+func (db *DB) shardOptions(i int, fs vfs.FS) engine.Options {
+	o := db.opts.Engine
+	o.FS = fs
+	o.Clock = db.clk
+	// Shared block cache with a per-shard key salt; the shard must not
+	// size its own.
+	o.BlockCache = db.blocks
+	o.BlockCacheSize = 0
+	o.CacheID = uint64(i+1) << 48
+	// Shared write controller and background pool.
+	o.Controller = db.controller
+	o.StallSource = i
+	o.BGPool = db.pool
+	// One event stream, one ops server — owned here, not per shard.
+	o.ObsAddr = ""
+	o.EventListener = db.shardListener(i)
+	if o.EventListener != nil {
+		// The shared hub already decouples slow sinks; per-shard
+		// forwarding is synchronous and non-blocking.
+		o.EventSinkQueue = -1
+	}
+	// WALFS sharing one device across shards is fine; a per-shard WAL
+	// namespace keeps names distinct when the caller set WALFS.
+	if o.WALFS != nil {
+		o.WALFS = vfs.NewPrefix(o.WALFS, fmt.Sprintf("shard-%03d/", i))
+	}
+	return o
+}
+
+// closeShared tears down resources owned by the sharded layer.
+func (db *DB) closeShared() {
+	if db.hub != nil {
+		db.hub.Close()
+	}
+	if db.obsSrv != nil {
+		_ = db.obsSrv.Close()
+	}
+}
+
+// NumShards returns the shard count.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// Shard exposes shard i's engine (stats, tests, manual compaction).
+func (db *DB) Shard(i int) *engine.DB { return db.shards[i] }
+
+// ShardForKey returns the index of the shard owning key.
+func (db *DB) ShardForKey(key []byte) int {
+	// First boundary strictly greater than key; the key lives in that
+	// boundary's shard.
+	return sort.Search(len(db.boundaries), func(i int) bool {
+		return bytes.Compare(key, db.boundaries[i]) < 0
+	})
+}
+
+// ShardRange returns shard i's key range [start, end); start is empty
+// for shard 0 and end is nil (unbounded) for the last shard.
+func (db *DB) ShardRange(i int) (start, end []byte) {
+	if i > 0 {
+		start = db.boundaries[i-1]
+	}
+	if i < len(db.boundaries) {
+		end = db.boundaries[i]
+	}
+	return start, end
+}
+
+// checkKey rejects reserved keys.
+func checkKey(key []byte) error {
+	if len(key) > 0 && key[0] == 0 {
+		return ErrReservedKey
+	}
+	return nil
+}
+
+// Get returns the value for key.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	return db.shards[db.ShardForKey(key)].Get(key)
+}
+
+// Has reports whether key exists.
+func (db *DB) Has(key []byte) (bool, error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	return db.shards[db.ShardForKey(key)].Has(key)
+}
+
+// Put inserts or overwrites key.
+func (db *DB) Put(key, value []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	return db.shards[db.ShardForKey(key)].Put(key, value)
+}
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	return db.shards[db.ShardForKey(key)].Delete(key)
+}
+
+// MultiGet looks up every key, returning parallel values/errors
+// slices. Lookups are grouped by shard and the groups run
+// concurrently, one goroutine per shard touched.
+func (db *DB) MultiGet(keys ...[]byte) ([][]byte, []error) {
+	values := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	byShard := make(map[int][]int)
+	for i, k := range keys {
+		if err := checkKey(k); err != nil {
+			errs[i] = err
+			continue
+		}
+		s := db.ShardForKey(k)
+		byShard[s] = append(byShard[s], i)
+	}
+	var wg sync.WaitGroup
+	for s, idxs := range byShard {
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				values[i], errs[i] = db.shards[s].Get(keys[i])
+			}
+		}(s, idxs)
+	}
+	wg.Wait()
+	return values, errs
+}
+
+// splitBatch routes b's operations into per-shard sub-batches.
+func (db *DB) splitBatch(b *batch.Batch) (map[int]*batch.Batch, error) {
+	parts := make(map[int]*batch.Batch)
+	err := b.Iterate(func(kind keys.Kind, key, value []byte) error {
+		if err := checkKey(key); err != nil {
+			return err
+		}
+		s := db.ShardForKey(key)
+		sub := parts[s]
+		if sub == nil {
+			sub = &batch.Batch{}
+			parts[s] = sub
+		}
+		if kind == keys.KindDelete {
+			sub.Delete(key)
+		} else {
+			sub.Put(key, value)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// Apply atomically applies b. Batches confined to one shard take that
+// shard's normal group-commit path; batches spanning shards commit via
+// the two-phase protocol (txn.go) — all of b survives a crash, or none
+// of it does.
+func (db *DB) Apply(b *batch.Batch, syncWAL bool) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	parts, err := db.splitBatch(b)
+	if err != nil {
+		return err
+	}
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		for s, sub := range parts {
+			return db.shards[s].Apply(sub, syncWAL)
+		}
+	}
+	return db.applyCross(parts, syncWAL)
+}
+
+// Flush flushes every shard's memtable.
+func (db *DB) Flush() error {
+	for i, s := range db.shards {
+		if err := s.Flush(); err != nil {
+			return fmt.Errorf("shardeddb: flush shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// BackgroundError returns the first shard's latched background error,
+// or nil when every shard is healthy.
+func (db *DB) BackgroundError() error {
+	for _, s := range db.shards {
+		if err := s.BackgroundError(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Health returns the worst health across shards.
+func (db *DB) Health() engine.Health {
+	worst := engine.Healthy
+	for _, s := range db.shards {
+		if h := s.Health(); h > worst {
+			worst = h
+		}
+	}
+	return worst
+}
+
+// TxnStats reports cross-shard transaction counters: committed
+// cross-shard batches, aborts (prepare/commit-point failures),
+// recovery roll-forwards and recovery aborts.
+func (db *DB) TxnStats() (cross, aborts, rolledForward, abortedAtOpen int64) {
+	return db.crossBatches.Load(), db.txnAborts.Load(),
+		db.rolledForward.Load(), db.abortedAtOpen.Load()
+}
+
+// CacheStats exposes the shared block cache (nil-safe).
+func (db *DB) CacheStats() (used int64, hits, misses int64) {
+	if db.blocks == nil {
+		return 0, 0, 0
+	}
+	h, m := db.blocks.Stats()
+	return db.blocks.Used(), h, m
+}
+
+// Controller exposes the shared write controller.
+func (db *DB) Controller() *throttle.Controller { return db.controller }
+
+// Pool exposes the shared background pool.
+func (db *DB) Pool() *bgpool.Pool { return db.pool }
+
+// Close closes every shard and the coordinator state. The shards close
+// in parallel — each drains its own writers and workers.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return ErrClosed
+	}
+	errs := make([]error, len(db.shards))
+	var wg sync.WaitGroup
+	for i, s := range db.shards {
+		wg.Add(1)
+		go func(i int, s *engine.DB) {
+			defer wg.Done()
+			errs[i] = s.Close()
+		}(i, s)
+	}
+	wg.Wait()
+	var err error
+	for i, e := range errs {
+		if e != nil && err == nil {
+			err = fmt.Errorf("shardeddb: close shard %d: %w", i, e)
+		}
+	}
+	db.txnMu.Lock()
+	if db.txnFile != nil {
+		if serr := db.txnLog.Sync(); serr != nil && err == nil {
+			err = fmt.Errorf("shardeddb: close: txn log sync: %w", serr)
+		}
+		_ = db.txnFile.Close()
+		db.txnFile = nil
+	}
+	db.txnMu.Unlock()
+	db.closeShared()
+	return err
+}

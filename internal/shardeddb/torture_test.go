@@ -1,0 +1,49 @@
+package shardeddb_test
+
+import (
+	"flag"
+	"testing"
+
+	"xpointdb/internal/torture"
+)
+
+var (
+	tortureIters = flag.Int("torture.iters", 12,
+		"sharded crash-consistency torture iterations (make tier3 runs 50+)")
+	tortureSeed = flag.Int64("torture.seed", 1,
+		"base seed; iteration i runs with seed+i")
+	tortureOps = flag.Int("torture.ops", 0,
+		"ops per iteration (0 = harness default)")
+	tortureShards = flag.Int("torture.shards", 0,
+		"shard count per iteration (0 = rotate through 2, 3, 4)")
+)
+
+// TestTortureSharded runs the seeded crash-consistency torture harness
+// against the range-sharded store: random workload with cross-shard
+// atomic batches, fault injection across every shard directory and the
+// coordinator log, crash at a random filesystem-op boundary, reopen,
+// and verification of the per-shard durability contract plus the
+// cross-shard all-or-nothing (2PC) contract — no crash point may ever
+// expose a torn batch, and every acknowledged cross-shard batch must
+// survive in full. On failure, reproduce with
+// `go run ./cmd/torture -seed N -shards S`.
+func TestTortureSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture harness skipped in -short mode")
+	}
+	for i := 0; i < *tortureIters; i++ {
+		seed := *tortureSeed + int64(i)
+		shards := *tortureShards
+		if shards == 0 {
+			shards = 2 + i%3
+		}
+		cfg := torture.Config{Seed: seed, Ops: *tortureOps, Shards: shards}
+		if testing.Verbose() {
+			cfg.Logf = t.Logf
+		}
+		if err := torture.Run(cfg); err != nil {
+			t.Fatalf("%v\n\nreproduce with: go run ./cmd/torture -seed %d -shards %d",
+				err, seed, shards)
+		}
+	}
+}

@@ -85,6 +85,10 @@ type Controller struct {
 
 	mu    sync.Mutex
 	state State
+	// sources holds the per-source stall states when the controller is
+	// shared across shards (SetSourceState); state is their max
+	// severity. Nil until a source other than 0 reports.
+	sources map[int]State
 	// rate is the current delayed_write_rate in bytes/second.
 	rate float64
 	// initialRate restores rate when a stall episode ends.
@@ -145,9 +149,38 @@ func New(clk clock.Clock, cfg Config) *Controller {
 	}
 }
 
-// SetState installs the stall condition computed by the engine.
-func (c *Controller) SetState(s State) {
+// SetState installs the stall condition computed by the engine. For a
+// controller shared by several shards it is shorthand for source 0.
+func (c *Controller) SetState(s State) { c.SetSourceState(0, s) }
+
+// SetSourceState installs the stall condition reported by one source
+// (shard). The controller's effective state is the maximum severity
+// across all sources, so a shared controller delays writers globally
+// while any shard is under pressure, and only clears — restoring the
+// starting rate — once every shard is clear.
+func (c *Controller) SetSourceState(src int, s State) {
 	c.mu.Lock()
+	if c.sources == nil {
+		if src == 0 {
+			// Single-source fast path: no map needed.
+			c.applyStateLocked(s)
+			c.mu.Unlock()
+			return
+		}
+		c.sources = map[int]State{0: c.state}
+	}
+	c.sources[src] = s
+	merged := StateClear
+	for _, st := range c.sources {
+		if st > merged {
+			merged = st
+		}
+	}
+	c.applyStateLocked(merged)
+	c.mu.Unlock()
+}
+
+func (c *Controller) applyStateLocked(s State) {
 	if c.state != StateClear && s == StateClear {
 		// Episode over: restore the starting rate so the next
 		// episode does not inherit a collapsed rate.
@@ -155,7 +188,6 @@ func (c *Controller) SetState(s State) {
 		c.creditBytes = 0
 	}
 	c.state = s
-	c.mu.Unlock()
 }
 
 // CurrentState returns the installed stall condition.

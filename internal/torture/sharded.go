@@ -1,0 +1,415 @@
+// Sharded torture mode: the crash-consistency harness pointed at the
+// range-sharded store. On top of the engine contract (prefix
+// durability, sync floor, crash ceiling, recoverability) it checks the
+// cross-shard atomic-batch contract: a batch that spans shards commits
+// through two-phase commit, so after any crash — at any filesystem-op
+// boundary, under any materialization mode — the recovered store must
+// show the batch on ALL of its participant shards or on NONE of them,
+// and any acknowledged cross-shard batch (regardless of its sync flag;
+// the 2PC commit point is always durable) must survive in full.
+//
+// Each shard gets its own monotone cut marker, placed just inside the
+// shard's key range, and every workload batch writes the marker of
+// every shard it touches. Because each shard is an engine with its own
+// WAL, the surviving ops on one shard always form a prefix of the ops
+// that touched it — so the recovered marker c_s identifies that prefix
+// exactly, and comparing {c_s} across a batch's participants decides
+// atomicity without caring how the crash interleaved with 2PC phases.
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"xpointdb/internal/batch"
+	"xpointdb/internal/clock"
+	"xpointdb/internal/engine"
+	"xpointdb/internal/faultfs"
+	"xpointdb/internal/shardeddb"
+	"xpointdb/internal/storage"
+	"xpointdb/internal/vfs"
+)
+
+// shardedOp is one submitted workload batch in the sharded run.
+type shardedOp struct {
+	muts         []mut
+	participants []int
+	// ackedDurable: Apply returned nil before the crash snapshot froze,
+	// through a path that guarantees durability at ack — an explicit
+	// sync, or any cross-shard commit (2PC syncs its prepares and
+	// commit record regardless of the caller's flag).
+	ackedDurable bool
+}
+
+// shardedMarker returns shard s's cut-marker key: the shard's range
+// start followed by a 0x01 byte, which sorts inside the shard's range,
+// below every user key sharing the boundary prefix, and outside the
+// reserved 0x00 namespace.
+func shardedMarker(db *shardeddb.DB, s int) []byte {
+	start, _ := db.ShardRange(s)
+	return append(append([]byte{}, start...), 0x01, '@', 'c', 'u', 't')
+}
+
+// shardedBoundaries splits the "k%03d" torture key universe evenly.
+func shardedBoundaries(shards, keys int) [][]byte {
+	b := make([][]byte, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		b = append(b, []byte(fmt.Sprintf("k%03d", keys*i/shards)))
+	}
+	return b
+}
+
+func shardedOptions(fs vfs.FS, shards int, keys int, geo geometry, slots int) shardeddb.Options {
+	opts := shardeddb.Options{
+		Shards:     shards,
+		Boundaries: shardedBoundaries(shards, keys),
+		PoolSlots:  slots,
+	}
+	opts.Engine = engine.DefaultOptions(fs)
+	geo.apply(&opts.Engine)
+	return opts
+}
+
+// runSharded executes one seeded crash/recovery iteration against a
+// sharded store and verifies the per-shard durability contract plus
+// cross-shard batch atomicity.
+func runSharded(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shards := cfg.Shards
+
+	dev := storage.New(clock.Real{}, storage.Null())
+	ffs, err := faultfs.New(vfs.NewMem(dev), rng.Int63())
+	if err != nil {
+		return fmt.Errorf("torture seed %d: faultfs: %w", cfg.Seed, err)
+	}
+	geo := pickGeometry(rng)
+	slots := 2 + rng.Intn(shards+1) // undersized pool stresses cross-shard scheduling
+	db, err := shardeddb.Open(shardedOptions(ffs, shards, cfg.Keys, geo, slots))
+	if err != nil {
+		return fmt.Errorf("torture seed %d: initial sharded open: %w", cfg.Seed, err)
+	}
+	cfg.Logf("sharded: %d shards, %d pool slots", shards, slots)
+
+	// Seeded fault rules. Shard files live under "shard-NNN/" and the
+	// coordinator log under "meta/", so the globs carry a directory
+	// component (path.Match wildcards do not cross '/').
+	if rng.Float64() < 0.25 {
+		ffs.AddRule(faultfs.Rule{
+			Ops: []faultfs.Op{faultfs.OpSync}, Path: "*/*.log",
+			After: rng.Int63n(60), Count: 1,
+		})
+		cfg.Logf("fault: one WAL sync failure armed")
+	}
+	if rng.Float64() < 0.15 {
+		ffs.AddRule(faultfs.Rule{
+			Ops: []faultfs.Op{faultfs.OpCreate}, Path: "*/*.sst",
+			Prob: 0.1, Count: 2,
+		})
+		cfg.Logf("fault: transient SST create failures armed")
+	}
+	if rng.Float64() < 0.10 {
+		ffs.AddRule(faultfs.Rule{
+			Ops: []faultfs.Op{faultfs.OpSync}, Path: "*/MANIFEST-*",
+			After: rng.Int63n(8), Count: 1,
+		})
+		cfg.Logf("fault: one MANIFEST sync failure armed")
+	}
+	if rng.Float64() < 0.10 {
+		ffs.AddRule(faultfs.Rule{
+			Ops: []faultfs.Op{faultfs.OpSync}, Path: "*/TXN-*",
+			After: rng.Int63n(10), Count: 1,
+		})
+		cfg.Logf("fault: one coordinator-log sync failure armed")
+	}
+	if rng.Float64() < 0.15 {
+		ffs.AddRule(faultfs.Rule{
+			Ops:  []faultfs.Op{faultfs.OpWrite, faultfs.OpSync},
+			Prob: 0.05, Count: 20,
+			Fault: faultfs.Fault{Latency: 200 * time.Microsecond},
+		})
+		cfg.Logf("fault: write/sync latency armed")
+	}
+
+	ffs.ArmCrash(50 + rng.Int63n(4000))
+
+	// --------------------------------------------------------------
+	// Phase 1: seeded workload. Mutations spread across the whole key
+	// universe, so batches routinely span shards and commit via 2PC.
+
+	key := func() string { return fmt.Sprintf("k%03d", rng.Intn(cfg.Keys)) }
+	shardOf := func(k string) int { return db.ShardForKey([]byte(k)) }
+	ops := make([]shardedOp, 0, cfg.Ops)
+	maxPossible := -1
+	var stopErr error
+	postCrash := 0
+	crossSubmitted := 0
+
+	for i := 0; i < cfg.Ops; i++ {
+		var b batch.Batch
+		o := shardedOp{}
+		sync := rng.Float64() < 0.25
+		touched := map[int]bool{}
+		nmut := 1 + rng.Intn(5)
+		for m := 0; m < nmut; m++ {
+			k := key()
+			touched[shardOf(k)] = true
+			if rng.Float64() < 0.2 {
+				b.Delete([]byte(k))
+				o.muts = append(o.muts, mut{key: k, del: true})
+			} else {
+				v := fmt.Sprintf("v%06d-%s-%04d", i, k, rng.Intn(10000))
+				b.Put([]byte(k), []byte(v))
+				o.muts = append(o.muts, mut{key: k, val: v})
+			}
+		}
+		for s := range touched {
+			o.participants = append(o.participants, s)
+			b.Put(shardedMarker(db, s), []byte(strconv.Itoa(i)))
+		}
+		if len(o.participants) > 1 {
+			crossSubmitted++
+		}
+		ops = append(ops, o)
+
+		if !ffs.Crashed() {
+			maxPossible = i
+		}
+		err := db.Apply(&b, sync)
+		if err != nil {
+			stopErr = err
+			break
+		}
+		if (sync || len(o.participants) > 1) && !ffs.Crashed() {
+			ops[i].ackedDurable = true
+		}
+
+		if rng.Float64() < 0.01 {
+			if ferr := db.Flush(); ferr != nil {
+				stopErr = ferr
+				break
+			}
+		}
+		if ffs.Crashed() {
+			postCrash++
+			if postCrash > cfg.PostCrashOps {
+				break
+			}
+		}
+	}
+
+	snap := ffs.ForceCrash()
+	submitted := len(ops)
+	if stopErr != nil {
+		cfg.Logf("workload stopped at op %d/%d: %v", submitted, cfg.Ops, stopErr)
+	}
+	_ = db.Close()
+
+	// --------------------------------------------------------------
+	// Phase 2: materialize one crash image and recover the whole store
+	// (all shard directories and the coordinator log froze together).
+
+	modes := []struct {
+		name string
+		opts faultfs.CrashOpts
+	}{
+		{"clean", faultfs.CrashOpts{}},
+		{"partial-sync", faultfs.CrashOpts{KeepUnsynced: true}},
+		{"torn", faultfs.CrashOpts{KeepUnsynced: true, Torn: true}},
+	}
+	mode := modes[rng.Intn(len(modes))]
+	dev2 := storage.New(clock.Real{}, storage.Null())
+	img, err := snap.Materialize(dev2, rng, mode.opts)
+	if err != nil {
+		return fmt.Errorf("torture seed %d: materialize %s: %w", cfg.Seed, mode.name, err)
+	}
+
+	db2, err := shardeddb.Open(shardedOptions(img, shards, cfg.Keys, geo, slots))
+	if err != nil {
+		return violation(cfg, mode.name, "sharded recovery failed: %v", err)
+	}
+	_, _, rolledForward, abortedAtOpen := db2.TxnStats()
+
+	// --------------------------------------------------------------
+	// Phase 3: read every shard's cut marker and verify the contract.
+
+	cut := make([]int, shards)
+	for s := 0; s < shards; s++ {
+		cut[s] = -1
+		v, gerr := db2.Get(shardedMarker(db2, s))
+		switch {
+		case gerr == nil:
+			cut[s], err = strconv.Atoi(string(v))
+			if err != nil {
+				return violation(cfg, mode.name, "shard %d cut marker corrupted: %q", s, v)
+			}
+		case !errors.Is(gerr, shardeddb.ErrNotFound):
+			return violation(cfg, mode.name, "reading shard %d cut marker: %v", s, gerr)
+		}
+	}
+	cfg.Logf("mode=%s submitted=%d cross=%d cuts=%v maxPossible=%d rolledForward=%d abortedAtOpen=%d",
+		mode.name, submitted, crossSubmitted, cut, maxPossible, rolledForward, abortedAtOpen)
+
+	for s, c := range cut {
+		if c > maxPossible {
+			return violation(cfg, mode.name,
+				"phantom future data on shard %d: cut %d, last op possibly in the image is %d",
+				s, c, maxPossible)
+		}
+	}
+	for i, o := range ops {
+		applied := 0
+		for _, s := range o.participants {
+			if cut[s] >= i {
+				applied++
+			}
+		}
+		if len(o.participants) > 1 && applied != 0 && applied != len(o.participants) {
+			return violation(cfg, mode.name,
+				"TORN CROSS-SHARD BATCH: op %d touched shards %v but survived on only %d of them (cuts %v)",
+				i, o.participants, applied, cut)
+		}
+		if o.ackedDurable && applied != len(o.participants) {
+			return violation(cfg, mode.name,
+				"acknowledged batch lost: op %d (shards %v) acked durable, cuts %v",
+				i, o.participants, cut)
+		}
+	}
+
+	// Per-shard oracle replay: shard s holds exactly the effects of
+	// the ops with index ≤ cut[s] that touched it.
+	model := map[string]string{}
+	for s := 0; s < shards; s++ {
+		for i := 0; i <= cut[s] && i < len(ops); i++ {
+			o := ops[i]
+			mine := false
+			for _, p := range o.participants {
+				if p == s {
+					mine = true
+					break
+				}
+			}
+			if !mine {
+				continue
+			}
+			model[string(shardedMarker(db2, s))] = strconv.Itoa(i)
+			for _, m := range o.muts {
+				if shardOf(m.key) != s {
+					continue
+				}
+				if m.del {
+					delete(model, m.key)
+				} else {
+					model[m.key] = m.val
+				}
+			}
+		}
+	}
+	if err := verifySharded(cfg, mode.name, db2, model, rng, cfg.Keys); err != nil {
+		return err
+	}
+
+	// --------------------------------------------------------------
+	// Phase 4: the recovered store must accept new writes — including
+	// fresh cross-shard batches through a new coordinator epoch — and
+	// keep them across a second reopen.
+
+	for i := 0; i < cfg.PostRecoveryOps; i++ {
+		var b batch.Batch
+		n := 1 + rng.Intn(3)
+		touched := map[int]bool{}
+		type kv struct{ k, v string }
+		var kvs []kv
+		for j := 0; j < n; j++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(cfg.Keys))
+			v := fmt.Sprintf("post-recovery-%d-%d-%d", cfg.Seed, i, j)
+			b.Put([]byte(k), []byte(v))
+			touched[shardOf(k)] = true
+			kvs = append(kvs, kv{k, v})
+		}
+		for s := range touched {
+			mk := shardedMarker(db2, s)
+			b.Put(mk, []byte(strconv.Itoa(len(ops)+i)))
+			model[string(mk)] = strconv.Itoa(len(ops) + i)
+		}
+		if err := db2.Apply(&b, true); err != nil {
+			return violation(cfg, mode.name, "recovered store rejected write %d: %v", i, err)
+		}
+		for _, p := range kvs {
+			model[p.k] = p.v
+		}
+	}
+	if err := db2.Flush(); err != nil {
+		return violation(cfg, mode.name, "recovered store flush failed: %v", err)
+	}
+	if err := verifySharded(cfg, mode.name, db2, model, rng, cfg.Keys); err != nil {
+		return err
+	}
+	if err := db2.Close(); err != nil {
+		return violation(cfg, mode.name, "recovered store close failed: %v", err)
+	}
+
+	db3, err := shardeddb.Open(shardedOptions(img, shards, cfg.Keys, geo, slots))
+	if err != nil {
+		return violation(cfg, mode.name, "second sharded recovery failed: %v", err)
+	}
+	if err := verifySharded(cfg, mode.name, db3, model, rng, cfg.Keys); err != nil {
+		return fmt.Errorf("%w (after second reopen)", err)
+	}
+	if err := db3.Close(); err != nil {
+		return violation(cfg, mode.name, "final close failed: %v", err)
+	}
+	return nil
+}
+
+// verifySharded checks the sharded store's user-visible keyspace
+// equals the model exactly: point reads, absent probes, and one full
+// cross-shard ordered scan (which also proves no 2PC bookkeeping key
+// ever leaks out of the reserved namespace).
+func verifySharded(cfg Config, mode string, db *shardeddb.DB, model map[string]string, rng *rand.Rand, keys int) error {
+	for k, want := range model {
+		v, err := db.Get([]byte(k))
+		if err != nil {
+			return violation(cfg, mode, "Get(%q) = %v, want %q", k, err, want)
+		}
+		if string(v) != want {
+			return violation(cfg, mode, "Get(%q) = %q, want %q", k, v, want)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(keys))
+		if _, ok := model[k]; ok {
+			continue
+		}
+		if v, err := db.Get([]byte(k)); !errors.Is(err, shardeddb.ErrNotFound) {
+			return violation(cfg, mode, "phantom key %q = (%q, %v), want ErrNotFound", k, v, err)
+		}
+	}
+
+	it, err := db.NewIter()
+	if err != nil {
+		return violation(cfg, mode, "NewIter: %v", err)
+	}
+	defer it.Close()
+	seen := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		k := string(it.Key())
+		want, ok := model[k]
+		if !ok {
+			return violation(cfg, mode, "scan found phantom key %q", k)
+		}
+		if string(it.Value()) != want {
+			return violation(cfg, mode, "scan value for %q = %q, want %q", k, it.Value(), want)
+		}
+		seen++
+	}
+	if err := it.Error(); err != nil {
+		return violation(cfg, mode, "scan error: %v", err)
+	}
+	if seen != len(model) {
+		return violation(cfg, mode, "scan saw %d keys, model has %d", seen, len(model))
+	}
+	return nil
+}

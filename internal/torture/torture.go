@@ -70,6 +70,11 @@ type Config struct {
 	// rules) and the engine's recovery worker must return the SAME
 	// handle to Healthy with zero acked-write loss. See runTransient.
 	Transient bool
+	// Shards, when > 1, switches Run to the sharded mode: the same
+	// crash/recovery machinery pointed at a range-sharded store, with
+	// per-shard cut markers and the cross-shard atomic-batch (2PC)
+	// contract checked on top. See runSharded in sharded.go.
+	Shards int
 	// Bitrot switches Run to the silent-corruption mode: seeded bit
 	// flips on SST reads, and the integrity machinery (block checksums,
 	// scrub, quarantine & repair) must guarantee no silent wrong read
@@ -165,6 +170,9 @@ func Run(cfg Config) error {
 	if cfg.Bitrot {
 		return runBitrot(cfg)
 	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	dev := storage.New(clock.Real{}, storage.Null())
@@ -206,7 +214,7 @@ func Run(cfg Config) error {
 	}
 	if rng.Float64() < 0.15 {
 		ffs.AddRule(faultfs.Rule{
-			Ops: []faultfs.Op{faultfs.OpWrite, faultfs.OpSync},
+			Ops:  []faultfs.Op{faultfs.OpWrite, faultfs.OpSync},
 			Prob: 0.05, Count: 20,
 			Fault: faultfs.Fault{Latency: 200 * time.Microsecond},
 		})

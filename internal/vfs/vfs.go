@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -278,6 +279,58 @@ func (h *memHandle) Close() error {
 }
 
 // ---------------------------------------------------------------------
+// Prefix filesystem
+
+// Prefix exposes a sub-namespace of another FS: every name is joined
+// with a fixed prefix on the way in and stripped on the way out of
+// List. It gives each shard of a sharded DB its own flat namespace
+// inside one underlying filesystem (and one crash/fault domain), which
+// is what lets a single faultfs snapshot capture a whole multi-shard
+// store at one instant.
+type Prefix struct {
+	fs     FS
+	prefix string
+}
+
+// NewPrefix returns an FS that prepends prefix to every name. A
+// conventional prefix ends in "/" so underlying names read like paths.
+func NewPrefix(fs FS, prefix string) *Prefix {
+	return &Prefix{fs: fs, prefix: prefix}
+}
+
+// Create creates (truncating) prefix+name.
+func (p *Prefix) Create(name string) (File, error) { return p.fs.Create(p.prefix + name) }
+
+// Open opens prefix+name for reading.
+func (p *Prefix) Open(name string) (File, error) { return p.fs.Open(p.prefix + name) }
+
+// Remove deletes prefix+name.
+func (p *Prefix) Remove(name string) error { return p.fs.Remove(p.prefix + name) }
+
+// Rename renames within the prefix namespace.
+func (p *Prefix) Rename(oldname, newname string) error {
+	return p.fs.Rename(p.prefix+oldname, p.prefix+newname)
+}
+
+// List returns the names under the prefix, with the prefix stripped.
+func (p *Prefix) List() ([]string, error) {
+	all, err := p.fs.List()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, n := range all {
+		if strings.HasPrefix(n, p.prefix) {
+			names = append(names, n[len(p.prefix):])
+		}
+	}
+	return names, nil
+}
+
+// Size returns the size of prefix+name.
+func (p *Prefix) Size(name string) (int64, error) { return p.fs.Size(p.prefix + name) }
+
+// ---------------------------------------------------------------------
 // OS filesystem
 
 // OS is an FS rooted at a real directory.
@@ -295,8 +348,16 @@ func (fs *OS) path(name string) string {
 	return fs.dir + string(os.PathSeparator) + name
 }
 
-// Create creates (truncating) name under the root directory.
+// Create creates (truncating) name under the root directory. Names may
+// contain '/' (the Prefix layout shardeddb uses); intermediate
+// directories are created on demand so a flat-namespace caller never
+// has to know whether the FS maps slashes to real directories.
 func (fs *OS) Create(name string) (File, error) {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		if err := os.MkdirAll(fs.path(name[:i]), 0o755); err != nil {
+			return nil, err
+		}
+	}
 	f, err := os.OpenFile(fs.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
@@ -321,17 +382,28 @@ func (fs *OS) Rename(oldname, newname string) error {
 	return os.Rename(fs.path(oldname), fs.path(newname))
 }
 
-// List returns the names of regular files in the root, sorted.
+// List returns the names of regular files under the root, sorted.
+// Files in subdirectories are reported with '/'-separated relative
+// names, mirroring how MemFS stores slash-bearing names flat — so a
+// Prefix view over either FS sees the same namespace.
 func (fs *OS) List() ([]string, error) {
-	ents, err := os.ReadDir(fs.dir)
+	var names []string
+	err := filepath.WalkDir(fs.dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(fs.dir, p)
+		if rerr != nil {
+			return rerr
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	var names []string
-	for _, e := range ents {
-		if !e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
-			names = append(names, e.Name())
-		}
 	}
 	sort.Strings(names)
 	return names, nil
@@ -370,4 +442,5 @@ func (f *osFile) Close() error                            { return f.f.Close() }
 var (
 	_ FS = (*MemFS)(nil)
 	_ FS = (*OS)(nil)
+	_ FS = (*Prefix)(nil)
 )

@@ -48,6 +48,15 @@ type Config struct {
 	// concurrent write load (dbbench -benchmarks mixed).
 	ReadWorkers  int
 	WriteWorkers int
+	// Shards and HotShardSkew shape key choice for sharded stores.
+	// With Shards > 1 and HotShardSkew > 1, workers first draw a shard
+	// index from a Zipf distribution with parameter HotShardSkew
+	// (shard 0 hottest), then a uniform key within that shard's
+	// contiguous slice of the keyspace — the hot-shard workload that
+	// separates a shared stall budget from per-store ones. Zero values
+	// keep the uniform generator.
+	Shards       int
+	HotShardSkew float64
 }
 
 // BurstConfig describes periodic write bursts.
@@ -164,6 +173,11 @@ func Run(clk clock.Clock, db KV, cfg Config) *Result {
 		clk.Go(fmt.Sprintf("workload-%d", w), func() {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
 			st := &stats[w]
+			// rand.Zipf is not safe for concurrent use: one per worker.
+			var zipf *rand.Zipf
+			if cfg.Shards > 1 && cfg.HotShardSkew > 1 {
+				zipf = rand.NewZipf(rng, cfg.HotShardSkew, 1, uint64(cfg.Shards-1))
+			}
 			for {
 				now := clk.Now()
 				if !now.Before(end) {
@@ -184,6 +198,14 @@ func Run(clk clock.Clock, db KV, cfg Config) *Result {
 					}
 				}
 				i := rng.Intn(cfg.KeySpace)
+				if zipf != nil {
+					s := int(zipf.Uint64())
+					lo := cfg.KeySpace * s / cfg.Shards
+					hi := cfg.KeySpace * (s + 1) / cfg.Shards
+					if hi > lo {
+						i = lo + rng.Intn(hi-lo)
+					}
+				}
 				if rng.Float64() < readRatio {
 					t0 := clk.Now()
 					_, err := db.Get(Key(i))

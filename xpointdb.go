@@ -39,6 +39,7 @@ import (
 	"xpointdb/internal/costmodel"
 	"xpointdb/internal/engine"
 	"xpointdb/internal/events"
+	"xpointdb/internal/shardeddb"
 	"xpointdb/internal/sim"
 	"xpointdb/internal/sstable"
 	"xpointdb/internal/storage"
@@ -156,6 +157,41 @@ func OpenPath(dir string) (*DB, error) {
 		return nil, err
 	}
 	return Open(DefaultOptions(fs))
+}
+
+// ShardedDB partitions the keyspace by range across independent
+// engine instances that share one block cache, one background worker
+// pool, one write controller and one event stream, with cross-shard
+// atomic batches via two-phase commit. See internal/shardeddb.
+type ShardedDB = shardeddb.DB
+
+// ShardedOptions configures OpenSharded.
+type ShardedOptions = shardeddb.Options
+
+// ShardedIter iterates the whole sharded keyspace in key order.
+type ShardedIter = shardeddb.Iter
+
+// ShardedSnapshot pins a per-shard point-in-time view vector.
+type ShardedSnapshot = shardeddb.Snapshot
+
+// ErrReservedKey rejects user keys in the sharded store's internal
+// 0x00-prefixed namespace.
+var ErrReservedKey = shardeddb.ErrReservedKey
+
+// OpenSharded opens (creating if necessary) a sharded store.
+func OpenSharded(opts ShardedOptions) (*ShardedDB, error) { return shardeddb.Open(opts) }
+
+// OpenShardedPath opens a durable sharded store with n shards in dir
+// on the local filesystem, with default engine options and the real
+// clock.
+func OpenShardedPath(dir string, n int) (*ShardedDB, error) {
+	fs, err := vfs.NewOS(dir)
+	if err != nil {
+		return nil, err
+	}
+	opts := shardeddb.Options{Shards: n, Engine: DefaultOptions(nil)}
+	opts.Engine.FS = fs
+	return shardeddb.Open(opts)
 }
 
 // Simulation bundles the pieces of a virtual-time experiment: drive
