@@ -20,22 +20,25 @@ tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
 
 # Tier-3: crash-consistency and robustness. Runs the seeded torture
-# harness in all three modes — crash (random workload + fault
+# harness in all four modes — crash (random workload + fault
 # injection + crash at a random fs-op boundary + reopen +
 # durability-contract verification), transient (faults heal; the
 # engine must auto-recover on the same handle with zero acked-write
-# loss), and bitrot (silent bit flips on SST reads; every corruption
-# must be detected and repaired or reported, never served). Failing
-# seeds are printed and reproducible with `go run ./cmd/torture
-# -seed N [-transient|-bitrot]`. Also runs a bounded pass of every
-# native fuzz target over the committed corpora (regenerate with
-# `go run ./cmd/genfuzzcorpus`).
+# loss), bitrot (silent bit flips on SST reads; every corruption
+# must be detected and repaired or reported, never served), and
+# enospc (the disk-space quota squeezes below usage and releases;
+# wait-for-space recovery must heal the same handle with zero acked
+# loss, reads serving throughout, and a bounded honest giveup when
+# space never frees). Failing seeds are printed and reproducible with
+# `go run ./cmd/torture -seed N [-transient|-bitrot|-enospc]`. Also
+# runs a bounded pass of every native fuzz target over the committed
+# corpora (regenerate with `go run ./cmd/genfuzzcorpus`).
 # The sharded run adds the cross-shard atomic-batch (2PC) contract on
 # top: no crash point may expose a torn cross-shard batch, and every
 # acknowledged one must survive in full. Repro failing seeds with
 # `go run ./cmd/torture -seed N -shards S`.
 tier3:
-	$(GO) test ./internal/engine -run 'TestTorture(CrashRecovery|TransientRecovery|BitrotRecovery)' -count=1 \
+	$(GO) test ./internal/engine -run 'TestTorture(CrashRecovery|TransientRecovery|BitrotRecovery|EnospcRecovery)' -count=1 \
 		-args -torture.iters=$(TORTURE_ITERS)
 	$(GO) test ./internal/shardeddb -run TestTortureSharded -count=1 \
 		-args -torture.iters=$(TORTURE_ITERS)

@@ -10,6 +10,7 @@
 //	dbbench -device xpoint -faultprob 0.001 -faultheal 2s  # recovery under load
 //	dbbench -device xpoint -shards 4 -benchmarks mixed     # range-sharded store
 //	dbbench -device xpoint -shards 8 -hot_shard_skew 1.2   # zipfian hot shard
+//	dbbench -device xpoint -disk_quota 256000000 -quota_cycle 2s  # full-disk cycling
 package main
 
 import (
@@ -61,11 +62,19 @@ func main() {
 		slowOp     = flag.Duration("slowop", 0, "trace operations slower than this as slow_op events with a stage breakdown (0 disables)")
 		shards     = flag.Int("shards", 0, "range-shard the store across this many engine instances with shared cache/pool/controller (0 or 1 = the bare single engine); boundaries split -num keys evenly")
 		hotSkew    = flag.Float64("hot_shard_skew", 0, "with -shards > 1: draw keys zipfian-hot toward shard 0 with this skew parameter (> 1; 0 = uniform)")
+		diskQuota  = flag.Int64("disk_quota", 0, "model a disk of this many bytes (simulated device only): the filesystem fails with ENOSPC past it, and the engine's space budget (MaxAllowedSpace) defends the same cap; armed after preload")
+		quotaCycle = flag.Duration("quota_cycle", 0, "with -disk_quota: periodically squeeze the quota below current usage for 10%% of each cycle and release it — the full-disk squeeze/release cadence wait-for-space recovery is judged on")
 	)
 	flag.Parse()
 
 	if *faultProb > 0 && *path != "" {
 		log.Fatalf("-faultprob requires the simulated device path (fault injection wraps the in-memory filesystem, not a real directory)")
+	}
+	if *diskQuota > 0 && *path != "" {
+		log.Fatalf("-disk_quota requires the simulated device path (the capacity quota wraps the in-memory filesystem, not a real directory)")
+	}
+	if *quotaCycle > 0 && *diskQuota <= 0 {
+		log.Fatalf("-quota_cycle requires -disk_quota")
 	}
 	if *hotSkew != 0 && *hotSkew <= 1 {
 		log.Fatalf("-hot_shard_skew must be > 1 (zipf s parameter), got %g", *hotSkew)
@@ -135,7 +144,7 @@ func main() {
 	dev := storage.New(k, prof)
 	var fs vfs.FS = vfs.NewMem(dev)
 	var ffs *faultfs.FS
-	if *faultProb > 0 {
+	if *faultProb > 0 || *diskQuota > 0 {
 		var err error
 		ffs, err = faultfs.New(fs, *seed)
 		if err != nil {
@@ -148,6 +157,12 @@ func main() {
 	opts.Clock = k
 	opts.CostModel = costmodel.Default()
 	tweak(&opts)
+	if *diskQuota > 0 {
+		// The engine budget defends the same cap the quota enforces, so
+		// the degradation ladder and job deferral engage before ENOSPC;
+		// the cycle's squeeze below usage is what forces the latch.
+		opts.MaxAllowedSpace = *diskQuota
+	}
 
 	var walDev *storage.Device
 	if *walDevice != "" {
@@ -165,9 +180,10 @@ func main() {
 	var ssum *shardedSummary
 	var finalStats string
 	var health engine.Health
+	var cyc *quotaCycler
 	k.Run(func() {
 		armFaults := func() {}
-		if ffs != nil {
+		if ffs != nil && *faultProb > 0 {
 			// Armed only after open and preload: the benchmark
 			// measures recovery under load, not a DB that cannot
 			// start or fill. Sharded WALs live under "shard-NNN/", so
@@ -186,6 +202,17 @@ func main() {
 				})
 			}
 		}
+		arm := func() {
+			armFaults()
+			if *diskQuota > 0 {
+				// Like the fault rules, the quota arms after preload:
+				// the measured window starts on a full-but-working disk.
+				ffs.SetQuota(*diskQuota)
+				if *quotaCycle > 0 {
+					cyc = startQuotaCycler(k, ffs, *diskQuota, *quotaCycle, *duration)
+				}
+			}
+		}
 		if *shards > 1 {
 			sdb, err := shardeddb.Open(shardedOptions(opts, *shards, *num))
 			if err != nil {
@@ -194,7 +221,14 @@ func main() {
 			if addr := sdb.ObsAddr(); addr != "" {
 				log.Printf("ops plane on http://%s (note: engine time is virtual here; prefer -path mode for interactive browsing)", addr)
 			}
-			res = runBenchmark(k, sdb, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, *shards, *hotSkew, armFaults)
+			res = runBenchmark(k, sdb, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, *shards, *hotSkew, arm)
+			if cyc != nil {
+				cyc.wait()
+				for i := 0; i < sdb.NumShards(); i++ {
+					sh := sdb.Shard(i)
+					settleSpace(k, sh.Health, sh.Resume)
+				}
+			}
 			ssum = summarizeSharded(sdb)
 			health = sdb.Health()
 			if *stats {
@@ -211,7 +245,11 @@ func main() {
 			if addr := db.ObsAddr(); addr != "" {
 				log.Printf("ops plane on http://%s (note: engine time is virtual here; prefer -path mode for interactive browsing)", addr)
 			}
-			res = runBenchmark(k, db, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, 0, 0, armFaults)
+			res = runBenchmark(k, db, *benchmarks, *threads, *duration, *num, *valueSize, *writeRatio, *seed, 0, 0, arm)
+			if cyc != nil {
+				cyc.wait()
+				settleSpace(k, db.Health, db.Resume)
+			}
 			m = db.Metrics()
 			health = db.Health()
 			if *stats {
@@ -233,9 +271,31 @@ func main() {
 	} else {
 		printResult(res, m)
 	}
-	if ffs != nil {
+	if *faultProb > 0 {
 		fmt.Printf("fault injection: WAL sync prob %.3g heal %v; %d faults injected; final health %v\n",
 			*faultProb, *faultHeal, ffs.InjectedCount(), health)
+	}
+	if *diskQuota > 0 {
+		var enospc, deferrals, waits, recoveries int64
+		if m != nil {
+			s := m.Snapshot()
+			enospc, deferrals = s.EnospcErrors, s.SpaceDeferrals
+			waits, recoveries = s.SpaceWaits, s.SpaceRecoveries
+		} else if ssum != nil {
+			for _, s := range ssum.snaps {
+				enospc += s.EnospcErrors
+				deferrals += s.SpaceDeferrals
+				waits += s.SpaceWaits
+				recoveries += s.SpaceRecoveries
+			}
+		}
+		squeezes := int64(0)
+		if cyc != nil {
+			squeezes = cyc.squeezes
+		}
+		fmt.Printf("space          : disk quota %d B cycle %v (%d squeezes); fs refused %d ops; engine: %d ENOSPC, %d deferred jobs, %d space waits, %d recoveries; final health %v\n",
+			*diskQuota, *quotaCycle, squeezes, ffs.EnospcCount(),
+			enospc, deferrals, waits, recoveries, health)
 	}
 	if finalStats != "" {
 		fmt.Print(finalStats)
@@ -385,6 +445,63 @@ func printResult(res *workload.Result, m *engine.Metrics) {
 	if m.ScrubPasses.Load()+m.ScrubbedBytes.Load() > 0 {
 		fmt.Printf("scrub          : %d passes, %d B verified, %d corruptions detected\n",
 			m.ScrubPasses.Load(), m.ScrubbedBytes.Load(), m.CorruptionsDetected.Load())
+	}
+}
+
+// quotaCycler periodically squeezes the filesystem quota below current
+// usage and releases it back to the configured disk size — the
+// squeeze/release cadence the wait-for-space recovery path is judged
+// on. It runs on the engine clock (virtual in sim mode) alongside the
+// workload; wait() blocks until the final release.
+type quotaCycler struct {
+	done     chan struct{}
+	squeezes int64
+}
+
+func startQuotaCycler(clk clock.Clock, ffs *faultfs.FS, quota int64, cycle, total time.Duration) *quotaCycler {
+	c := &quotaCycler{done: make(chan struct{})}
+	n := int(total / cycle)
+	clk.Go("quota-cycler", func() {
+		defer close(c.done)
+		hold := cycle / 10
+		if hold <= 0 {
+			hold = cycle / 2
+		}
+		for i := 0; i < n; i++ {
+			clk.Sleep(cycle - hold)
+			// Squeeze to half of current usage: every write-path byte
+			// now hits ENOSPC, exactly like a disk filled by a
+			// neighbor — and deep enough that reclaiming obsolete
+			// files alone cannot quietly lift the pressure before the
+			// workload feels it.
+			q := ffs.DiskUsed() / 2
+			if q < 1 {
+				q = 1
+			}
+			ffs.SetQuota(q)
+			c.squeezes++
+			clk.Sleep(hold)
+			ffs.SetQuota(quota)
+		}
+	})
+	return c
+}
+
+func (c *quotaCycler) wait() { <-c.done }
+
+// settleSpace polls (in engine-clock time) until the store heals after
+// the final quota release, nudging with a manual Resume when automatic
+// recovery already gave up mid-squeeze. Bounded: a store that cannot
+// heal is reported via the final-health field, not a hang.
+func settleSpace(clk clock.Clock, health func() engine.Health, resume func() error) {
+	for i := 0; i < 2000; i++ {
+		if health() == engine.Healthy {
+			return
+		}
+		if i%100 == 99 {
+			_ = resume()
+		}
+		clk.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -28,6 +28,8 @@ func main() {
 			"transient-fault mode: faults heal and the engine must auto-recover on the same handle (no crash/reopen)")
 		bitrot = flag.Bool("bitrot", false,
 			"silent-corruption mode: bit flips on SST reads; every corruption must be detected and repaired or reported, never served")
+		enospc = flag.Bool("enospc", false,
+			"full-disk mode: the disk-space quota squeezes below usage and releases; wait-for-space recovery must heal the same handle with zero acked loss")
 		shards = flag.Int("shards", 0,
 			"sharded mode: run the workload against a range-sharded store with this many shards and check the cross-shard atomic-batch contract")
 		verbose = flag.Bool("v", false, "log per-iteration progress")
@@ -38,7 +40,7 @@ func main() {
 	failed := 0
 	for i := 0; i < *iters; i++ {
 		s := *seed + int64(i)
-		cfg := torture.Config{Seed: s, Ops: *ops, Keys: *keys, Transient: *transient, Bitrot: *bitrot, Shards: *shards}
+		cfg := torture.Config{Seed: s, Ops: *ops, Keys: *keys, Transient: *transient, Bitrot: *bitrot, Enospc: *enospc, Shards: *shards}
 		if *verbose {
 			cfg.Logf = func(format string, args ...interface{}) {
 				log.Printf("  seed %d: "+format, append([]interface{}{s}, args...)...)
@@ -53,6 +55,9 @@ func main() {
 			}
 			if *bitrot {
 				repro += " -bitrot"
+			}
+			if *enospc {
+				repro += " -enospc"
 			}
 			if *shards > 1 {
 				repro += fmt.Sprintf(" -shards %d", *shards)

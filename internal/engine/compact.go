@@ -167,6 +167,40 @@ func (db *DB) compactWorker() {
 				continue
 			}
 		}
+		var reservedSpace int64
+		if db.space != nil {
+			// Reserve headroom for the projected output (bounded by the
+			// input bytes; obsolete inputs are only freed after install).
+			// Over budget the job defers, never fails. TryReserve runs
+			// without db.mu — a ladder change notifies back into it — so
+			// the world must be re-checked before committing to the pick.
+			for _, f := range c.inputs {
+				reservedSpace += f.Size
+			}
+			for _, f := range c.overlaps {
+				reservedSpace += f.Size
+			}
+			db.mu.Unlock()
+			ok := db.space.TryReserve(reservedSpace)
+			db.mu.Lock()
+			stale := db.closed || db.bgErr != nil || db.compacting
+			if !ok || stale {
+				c.base.Unref()
+				db.mu.Unlock()
+				if ok {
+					db.space.Release(reservedSpace)
+				} else {
+					db.metrics.SpaceDeferrals.Add(1)
+					db.opts.logf("compaction deferred: %d B projected output over space budget", reservedSpace)
+				}
+				db.releaseBGToken()
+				if !ok && !stale {
+					db.clk.Sleep(flushRetryBackoff)
+				}
+				db.mu.Lock()
+				continue
+			}
+		}
 		db.compacting = true
 		db.mu.Unlock()
 
@@ -182,6 +216,11 @@ func (db *DB) compactWorker() {
 		compStart := db.clk.Now()
 
 		stats, err := db.runCompaction(c)
+		if reservedSpace > 0 {
+			// Outputs are tracked as used bytes now (or were removed);
+			// the reservation would double-count them.
+			db.space.Release(reservedSpace)
+		}
 		compDur := db.clk.Now().Sub(compStart)
 		db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
 			stats.entries, compDur, err)
@@ -201,8 +240,12 @@ func (db *DB) compactWorker() {
 			db.opts.logf("compaction L%d→L%d failed: %v", c.level, c.outputLevel, err)
 			if db.bgErr == nil {
 				// Inputs are still live and the pick retries: a soft
-				// error. (Manifest failures latch inside commitEdit.)
-				db.noteSoftErrorLocked(opCompaction, err)
+				// error — except disk-full, which classifies hard so
+				// the recovery worker's wait-for-space path owns it
+				// (see classifySeverity). (Manifest failures latch
+				// inside commitEdit; the bgErr guard avoids
+				// double-classifying them.)
+				db.setBackgroundErrorLocked(opCompaction, err)
 			}
 			// Wake anyone quiescing on db.compacting (error recovery).
 			db.bgCond.Broadcast()
@@ -307,7 +350,7 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 			return
 		}
 		for _, n := range outNums {
-			_ = db.fs.Remove(manifest.SSTName(n))
+			_ = db.spaceRemove(db.fs, manifest.SSTName(n))
 		}
 	}()
 
@@ -330,6 +373,7 @@ func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
 		if err := builderFile.Close(); err != nil {
 			return err
 		}
+		db.spaceTrack(manifest.SSTName(curNum), size)
 		outputs = append(outputs, &manifest.FileMeta{
 			Num:      curNum,
 			Size:     size,

@@ -96,6 +96,12 @@ type DB struct {
 	hub        *obs.Hub        // event fan-out hub (nil without sink/ops plane)
 	obsSrv     *obs.Server     // HTTP ops plane (nil unless Options.ObsAddr)
 
+	// space is the disk budget accountant (space.go); nil when no
+	// MaxAllowedSpace and no shared SpaceManager were configured.
+	// spaceSub is this DB's ladder subscription id.
+	space    *SpaceManager
+	spaceSub int
+
 	mu     clock.Mutex
 	bgCond clock.Cond // broadcast on any background state change
 	// recoveryCond wakes only the recovery worker (latch set, Resume
@@ -134,7 +140,14 @@ type DB struct {
 	compacting    bool
 	compactCursor [manifest.NumLevels]int
 	stallState    throttle.State
-	closed        bool
+	// spaceState is the space-budget degradation-ladder state (space.go),
+	// max-merged with the L0 state in updateStallStateLocked. Updated by
+	// the SpaceManager subscription under db.mu. spaceStopEpoch counts
+	// ladder transitions; a space-stall watchdog armed on an entry into
+	// Stopped only fires if the epoch it captured is still current.
+	spaceState     throttle.State
+	spaceStopEpoch uint64
+	closed     bool
 	liveWorkers   int
 	memBudget     int64 // current memtable size target (adaptive L0)
 
@@ -221,6 +234,12 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.controller = throttle.New(clk, tcfg)
 	}
+	if opts.SpaceManager != nil {
+		// Shared, externally owned: one budget across every sharer.
+		db.space = opts.SpaceManager
+	} else if opts.MaxAllowedSpace > 0 {
+		db.space = NewSpaceManager(opts.MaxAllowedSpace, opts.FreeSpaceThreshold)
+	}
 	db.mu = clk.NewMutex()
 	db.bgCond = clk.NewCond(db.mu)
 	db.recoveryCond = clk.NewCond(db.mu)
@@ -262,7 +281,15 @@ func Open(opts Options) (*DB, error) {
 		clk.Go("scrub-worker", db.scrubWorker)
 	}
 
+	if db.space != nil {
+		db.seedSpaceAccounting()
+		db.spaceSub = db.space.subscribe(db.spaceStateChanged)
+	}
+
 	db.mu.Lock()
+	if db.space != nil {
+		db.spaceState = db.space.State()
+	}
 	db.updateStallStateLocked()
 	db.mu.Unlock()
 
@@ -358,6 +385,7 @@ func (db *DB) newWALLocked() error {
 	db.walFile = f
 	db.walWriter = wal.NewWriter(f)
 	db.walNum = num
+	db.spaceTrack(manifest.WALName(num), 0)
 	return nil
 }
 
@@ -474,6 +502,12 @@ func (db *DB) Close() error {
 		// closed shard can't keep the global budget throttled.
 		db.controller.SetSourceState(db.opts.StallSource, throttle.StateClear)
 	}
+	if db.space != nil {
+		// Drop the ladder subscription: a shared SpaceManager outlives
+		// this engine and must not call back into a closed DB. The
+		// tracked file bytes stay — the files are still on disk.
+		db.space.unsubscribe(db.spaceSub)
+	}
 	// Tear down the ops plane last: every background worker has exited,
 	// so the event stream is complete; closing the hub drains the sink
 	// fully before the HTTP server stops answering.
@@ -494,6 +528,10 @@ func (db *DB) Metrics() *Metrics { return db.metrics }
 
 // Controller exposes the write controller (for experiment inspection).
 func (db *DB) Controller() *throttle.Controller { return db.controller }
+
+// SpaceManager exposes the space budget manager, or nil when no budget
+// is configured.
+func (db *DB) SpaceManager() *SpaceManager { return db.space }
 
 // NumLevelFiles returns the file count at the given level.
 func (db *DB) NumLevelFiles(level int) int {
@@ -535,7 +573,8 @@ func (db *DB) SetMemtableBudget(n int64) {
 }
 
 // updateStallStateLocked recomputes the stall condition from Level-0
-// pressure and installs it in the controller. Callers hold db.mu.
+// pressure and the space-budget ladder (the max of the two severities)
+// and installs it in the controller. Callers hold db.mu.
 func (db *DB) updateStallStateLocked() {
 	l0 := db.vs.Current().NumFiles(0)
 	var s throttle.State
@@ -549,6 +588,11 @@ func (db *DB) updateStallStateLocked() {
 		s = throttle.StateDelayed
 	default:
 		s = throttle.StateClear
+	}
+	if db.spaceState > s {
+		// Approaching the space budget escalates exactly like L0 depth:
+		// delayed, then stopped — reads keep serving either way.
+		s = db.spaceState
 	}
 	if s != db.stallState {
 		db.opts.logf("stall state %v -> %v (L0=%d)", db.stallState, s, l0)
@@ -606,12 +650,12 @@ func (db *DB) deleteObsoleteFiles() {
 		if t, num := manifest.ParseName(n); t == manifest.TypeManifest && num != manifestNum {
 			// Recovery rolls to a fresh manifest; superseded ones
 			// linger only if the post-roll Remove failed.
-			_ = db.fs.Remove(n)
+			_ = db.spaceRemove(db.fs, n)
 		}
 	}
 	for _, n := range walNames {
 		if t, num := manifest.ParseName(n); t == manifest.TypeWAL && num < logNum && num != curWAL {
-			_ = db.walFS.Remove(n)
+			_ = db.spaceRemove(db.walFS, n)
 		}
 	}
 }

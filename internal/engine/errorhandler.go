@@ -6,6 +6,7 @@ import (
 	"syscall"
 
 	"xpointdb/internal/events"
+	"xpointdb/internal/vfs"
 )
 
 // This file is the engine's error-severity layer, modeled on RocksDB's
@@ -160,7 +161,18 @@ const (
 	opFlush           = "flush"
 	opCompaction      = "compaction"
 	opCorruption      = "corruption"
+	opSpaceStall      = "space-stall"
 )
+
+// ErrMaxSpaceReached is latched by the space-stall watchdog when the
+// space-budget ladder has held writers stopped for SpaceStallTimeout
+// with no transition: the budget is exhausted and no background job can
+// reserve the headroom to reclaim anything, so waiting longer cannot
+// help (RocksDB's "Max allowed space was reached"). It wraps
+// vfs.ErrNoSpace so it classifies and recovers exactly like a device
+// ENOSPC: hard latch, wait-for-space recovery, healed by a budget raise
+// or a delete.
+var ErrMaxSpaceReached = fmt.Errorf("engine: max allowed space reached: %w", vfs.ErrNoSpace)
 
 // classifySeverity is the op→severity table. The reasoning per row:
 //
@@ -183,7 +195,15 @@ const (
 //	                         (reopen) is safe.
 //	flush             soft   the immutable stays queued and the flush
 //	                         worker retries; nothing acked is lost.
+//	                         EXCEPT disk-full: hard — see below.
 //	compaction        soft   inputs remain live; the picker retries.
+//	                         EXCEPT disk-full: hard — see below.
+//	space-stall       hard   the space-stall watchdog's latch: the
+//	                         budget ladder held writers stopped past
+//	                         SpaceStallTimeout with nothing reclaimable
+//	                         in flight. Always ErrMaxSpaceReached
+//	                         (disk-full class), so it recovers via the
+//	                         wait-for-space path.
 //	corruption        hard   a checksum failure in a live SST: writes
 //	                         latch while the recovery worker
 //	                         quarantines the file and repairs by
@@ -192,13 +212,29 @@ const (
 //	                         working throughout.
 //
 // Disk-full (ENOSPC) on the hard rows stays hard: space can be freed,
-// and the recovery worker's backoff keeps probing until it is.
+// and the recovery worker's backoff keeps probing until it is. On the
+// flush and compaction rows disk-full ESCALATES to hard (RocksDB's
+// ErrorHandler does the same for SstFileManager-managed ENOSPC):
+// retrying in place cannot succeed until space frees, and while the
+// retry loop spins the write path stalls on the full immutable queue
+// or L0 with no error to fail fast on — an unbounded invisible hang.
+// Latching hands the situation to the recovery worker's wait-for-space
+// path: writers fail fast with ErrBackground, reads keep serving, and
+// when the probe finds headroom the queued immutables drain and the
+// latch clears on the same handle. (The rotate-create row stays soft
+// even when disk-full: the old WAL is intact and the NEXT write retries
+// the rotation synchronously, so the writer already gets an error.)
 // Unknown ops classify as unrecoverable — the conservative latch.
 func classifySeverity(op string, err error) Severity {
 	switch op {
-	case opFlush, opCompaction, opWALRotateCreate:
+	case opFlush, opCompaction:
+		if isDiskFull(err) {
+			return SeverityHard
+		}
 		return SeveritySoft
-	case opWALAppend, opWALSync, opWALRotateSync, opManifestAppend, opCorruption:
+	case opWALRotateCreate:
+		return SeveritySoft
+	case opWALAppend, opWALSync, opWALRotateSync, opManifestAppend, opCorruption, opSpaceStall:
 		return SeverityHard
 	case opManifestInstall:
 		return SeverityFatal
@@ -206,11 +242,12 @@ func classifySeverity(op string, err error) Severity {
 	return SeverityUnrecoverable
 }
 
-// isDiskFull reports an out-of-space failure (kept distinct so the
-// classification table and stats can call it out; ENOSPC only occurs
-// on the real-OS vfs).
+// isDiskFull reports an out-of-space failure: a real ENOSPC from the
+// OS vfs or an injected vfs.ErrNoSpace (the faultfs capacity quota).
+// Both classify identically, so the wait-for-space recovery path is
+// exercised by tests exactly as a full device would drive it.
 func isDiskFull(err error) bool {
-	return errors.Is(err, syscall.ENOSPC)
+	return errors.Is(err, vfs.ErrNoSpace) || errors.Is(err, syscall.ENOSPC)
 }
 
 // recoveryCategory groups ops by which repair recoverOnce applies.
@@ -221,6 +258,7 @@ const (
 	catWAL                         // swap in a fresh WAL, flush the memtables it covered
 	catManifest                    // roll the MANIFEST to a fresh snapshot file
 	catCorruption                  // quarantine the damaged SST, repair or declare loss
+	catSpace                       // wait for disk space, then drain the immutable queue
 )
 
 func categoryOf(op string) recoveryCategory {
@@ -231,6 +269,11 @@ func categoryOf(op string) recoveryCategory {
 		return catManifest
 	case opCorruption:
 		return catCorruption
+	case opFlush, opCompaction, opSpaceStall:
+		// Only disk-full flush/compaction failures latch (everything
+		// else on those ops is soft and never reaches recovery).
+		// space-stall is the watchdog's budget-exhaustion latch.
+		return catSpace
 	}
 	return catNone
 }
@@ -276,6 +319,9 @@ func (db *DB) setBackgroundErrorLocked(op string, err error) {
 		return
 	}
 	sev := classifySeverity(op, err)
+	if isDiskFull(err) {
+		db.metrics.EnospcErrors.Add(1)
+	}
 	if sev == SeveritySoft {
 		db.noteSoftErrorLocked(op, err)
 		return

@@ -31,6 +31,28 @@ func (db *DB) flushWorker() {
 			// are recovered on the next open.
 			break
 		}
+		var reservedSpace int64
+		if db.space != nil {
+			// Reserve headroom for the projected L0 output before taking
+			// any shared resource: over budget the job defers — it does
+			// not fail — until reclamation or a budget raise makes room.
+			projected := db.imms[0].mem.ApproximateSize()
+			db.mu.Unlock()
+			ok := db.reserveSpace(projected, "flush")
+			db.mu.Lock()
+			if !ok {
+				continue // closing; the wait loop re-checks
+			}
+			reservedSpace = projected
+			if db.closed || len(db.imms) == 0 || db.bgErr != nil {
+				// Release without db.mu: a ladder-state change notifies
+				// subscribers, which re-take db.mu.
+				db.mu.Unlock()
+				db.space.Release(reservedSpace)
+				db.mu.Lock()
+				continue
+			}
+		}
 		if db.opts.BGPool != nil {
 			// Shared pool: take a token before running the job. Drop
 			// db.mu while blocked (the pool parks on its own cond), and
@@ -42,6 +64,11 @@ func (db *DB) flushWorker() {
 			db.mu.Lock()
 			if db.closed || len(db.imms) == 0 || db.bgErr != nil {
 				db.opts.BGPool.Release()
+				if reservedSpace > 0 {
+					db.mu.Unlock()
+					db.space.Release(reservedSpace)
+					db.mu.Lock()
+				}
 				continue
 			}
 		}
@@ -73,6 +100,11 @@ func (db *DB) flushWorker() {
 			}
 			err = db.commitEdit(edit)
 		}
+		if reservedSpace > 0 {
+			// The output is now tracked as used bytes (or was removed);
+			// holding the reservation longer would double-count it.
+			db.space.Release(reservedSpace)
+		}
 
 		db.mu.Lock()
 		db.flushing = false
@@ -80,11 +112,17 @@ func (db *DB) flushWorker() {
 		if err != nil {
 			db.opts.logf("flush failed: %v", err)
 			if db.bgErr == nil {
-				// The SST build failed but WAL and MANIFEST are fine:
-				// a soft error — the immutable stays queued and the
-				// retry below usually heals it. (Manifest failures
-				// latched inside commitEdit; don't double-classify.)
-				db.noteSoftErrorLocked(opFlush, err)
+				// The SST build failed but WAL and MANIFEST are fine.
+				// Classification decides the cost: transient I/O is a
+				// soft error — the immutable stays queued and the retry
+				// below usually heals it — while disk-full latches hard
+				// so writers fail fast and the recovery worker's
+				// wait-for-space path owns reclamation (retrying an SST
+				// build into a full disk can never succeed, and the
+				// stalled write leader has nothing to fail on).
+				// (Manifest failures latched inside commitEdit; the
+				// bgErr guard avoids double-classifying them.)
+				db.setBackgroundErrorLocked(opFlush, err)
 			}
 			delOutput := db.canDeleteFailedOutputLocked()
 			// Wake anyone quiescing on db.flushing (error recovery).
@@ -95,7 +133,7 @@ func (db *DB) flushWorker() {
 			if delOutput {
 				// The output was never installed in any version, so no
 				// reference protects it; remove it directly.
-				_ = db.fs.Remove(manifest.SSTName(num))
+				_ = db.spaceRemove(db.fs, manifest.SSTName(num))
 			}
 			// Give the token back before backing off: a sleeping
 			// worker must not starve other shards' jobs.
@@ -227,6 +265,7 @@ func (db *DB) buildTable(num uint64, src iterator.Iterator) (*manifest.FileMeta,
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
+	db.spaceTrack(name, size)
 	if db.cost != nil {
 		db.cost.ChargeCompactEntries(db.clk, entries%compactChargeBatch)
 	}
@@ -266,6 +305,11 @@ func (db *DB) commitEditWith(edit *manifest.Edit, recovery bool) error {
 	db.mu.Unlock()
 
 	err := db.vs.Append(payload)
+	if err == nil {
+		// Charge the appended edit to the live MANIFEST (stable while
+		// manifestBusy is held; record framing is a few bytes, ignored).
+		db.spaceGrow(manifest.ManifestName(db.vs.ManifestNum()), int64(len(payload)))
+	}
 
 	db.mu.Lock()
 	db.manifestBusy = false

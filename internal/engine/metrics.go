@@ -95,6 +95,19 @@ type Metrics struct {
 	CorruptionsRepaired atomic.Int64
 	DataLossEvents      atomic.Int64
 
+	// Space accounting (space.go, recovery.go). EnospcErrors counts
+	// disk-full errors latched or noted by the error handler;
+	// SpaceDeferrals counts flush/compaction jobs that deferred for lack
+	// of budget headroom (each deferral episode counts once, however
+	// long it waits); SpaceWaits counts wait-for-space probes that still
+	// found the disk full (each burns one recovery attempt);
+	// SpaceRecoveries counts recoveries completed after a disk-full
+	// latch — acked data survived a full disk.
+	EnospcErrors    atomic.Int64
+	SpaceDeferrals  atomic.Int64
+	SpaceWaits      atomic.Int64
+	SpaceRecoveries atomic.Int64
+
 	// Background-stage latency histograms: one sample per completed
 	// flush, per compaction, per WAL fsync, and per full scrub pass.
 	// Full distributions (not just sums) because background-work tail

@@ -68,6 +68,10 @@ func TestPrometheusGolden(t *testing.T) {
 		"xpointdb_corruptions_repaired_total", "xpointdb_data_loss_events_total",
 		"xpointdb_slow_ops_total", "xpointdb_events_dropped_total",
 		"xpointdb_health", "xpointdb_uptime_seconds",
+		"xpointdb_space_used_bytes", "xpointdb_space_reserved_bytes",
+		"xpointdb_space_budget_bytes", "xpointdb_enospc_errors_total",
+		"xpointdb_space_deferrals_total", "xpointdb_space_waits_total",
+		"xpointdb_space_recoveries_total",
 	}
 	for _, name := range mustHave {
 		if _, ok := byName[name]; !ok {

@@ -203,6 +203,39 @@ type Options struct {
 	// byte.
 	ParanoidFileChecks bool
 
+	// MaxAllowedSpace caps the bytes of live SST/WAL/MANIFEST files
+	// the engine may hold on disk (RocksDB's SstFileManager
+	// max_allowed_space). Zero means unlimited. Approaching the budget
+	// escalates the write controller (delayed, then stopped — reads
+	// keep serving) before any real write can fail for space, and
+	// flush/compaction jobs whose projected output would overrun the
+	// budget are deferred until reclamation frees headroom.
+	MaxAllowedSpace int64
+	// FreeSpaceThreshold is the fraction of MaxAllowedSpace that must
+	// remain free before the degradation ladder engages: below it
+	// writes are delayed, below half of it they are stopped. Default
+	// 0.1. Ignored when MaxAllowedSpace is zero.
+	FreeSpaceThreshold float64
+	// SpaceManager, if non-nil, is an externally owned space budget
+	// shared with other shards (like Controller/BGPool): every sharer
+	// charges its live bytes against one MaxAllowedSpace, so a hot
+	// shard consumes headroom visible to all of them. When nil and
+	// MaxAllowedSpace > 0, the engine creates a private one.
+	SpaceManager *SpaceManager
+	// SpaceStallTimeout bounds how long writers may sit stopped on the
+	// space ladder with no state change before the engine latches a
+	// hard ErrMaxSpaceReached instead of stalling forever. A stopped
+	// ladder with nothing reclaimable is a standstill — flushes and
+	// compactions cannot reserve headroom, so no background job will
+	// ever free the space the writers are waiting for. The latch turns
+	// that silent hang into the ordinary disk-full error path: stalled
+	// writers fail fast with ErrBackground, reads keep serving, and
+	// wait-for-space recovery heals the moment a budget raise or a
+	// delete frees headroom (RocksDB surfaces the same condition as a
+	// max_allowed_space background error). Default 10s; negative
+	// disables the watchdog.
+	SpaceStallTimeout time.Duration
+
 	// DisableAutoRecovery turns off the background recovery worker:
 	// hard background errors stay latched until a manual Resume (or a
 	// reopen), matching the pre-recovery engine. Soft-error in-place
@@ -240,6 +273,7 @@ func DefaultOptions(fs vfs.FS) Options {
 		RecoveryBaseBackoff: 5 * time.Millisecond,
 		RecoveryMaxBackoff:  500 * time.Millisecond,
 		MaxRecoveryAttempts: 12,
+		SpaceStallTimeout:   10 * time.Second,
 		MemtableSize:        4 << 20,
 		MaxImmutables:       1,
 		L0CompactionTrigger: 4,
@@ -337,6 +371,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ScrubBytesPerSec <= 0 {
 		o.ScrubBytesPerSec = d.ScrubBytesPerSec
+	}
+	if o.FreeSpaceThreshold <= 0 {
+		o.FreeSpaceThreshold = 0.1
+	}
+	if o.SpaceStallTimeout == 0 {
+		o.SpaceStallTimeout = d.SpaceStallTimeout
 	}
 	return o
 }

@@ -187,6 +187,31 @@ func (db *DB) WritePrometheus(w io.Writer) {
 	pw.counter("xpointdb_recovery_giveups_total", "Recoveries that exhausted the budget.",
 		float64(s.RecoveryGiveups))
 
+	// Space accounting. The byte gauges are only meaningful with a
+	// SpaceManager attached, but the families are always emitted so
+	// dashboards and the golden parser see a stable metric set (budget
+	// reads 0 when no budget is configured).
+	var spaceUsed, spaceReserved, spaceBudget int64
+	if db.space != nil {
+		spaceUsed = db.space.Used()
+		spaceReserved = db.space.Reserved()
+		spaceBudget = db.space.Budget()
+	}
+	pw.gauge("xpointdb_space_used_bytes", "Live engine file bytes (SSTs, WALs, MANIFEST).",
+		float64(spaceUsed))
+	pw.gauge("xpointdb_space_reserved_bytes", "Bytes reserved for in-flight flushes and compactions.",
+		float64(spaceReserved))
+	pw.gauge("xpointdb_space_budget_bytes", "Configured space budget (0 = unlimited).",
+		float64(spaceBudget))
+	pw.counter("xpointdb_enospc_errors_total", "Disk-full errors hit by background work.",
+		float64(s.EnospcErrors))
+	pw.counter("xpointdb_space_deferrals_total", "Flush/compaction jobs deferred for lack of budget headroom.",
+		float64(s.SpaceDeferrals))
+	pw.counter("xpointdb_space_waits_total", "Wait-for-space probes that still found the disk full.",
+		float64(s.SpaceWaits))
+	pw.counter("xpointdb_space_recoveries_total", "Recoveries completed after a disk-full latch.",
+		float64(s.SpaceRecoveries))
+
 	// Integrity.
 	pw.counter("xpointdb_scrub_passes_total", "Completed scrub passes.", float64(s.ScrubPasses))
 	pw.counter("xpointdb_scrubbed_bytes_total", "Bytes read and verified by the scrubber.",

@@ -156,6 +156,19 @@ func (db *DB) sleepRecoveryBackoff(d time.Duration) bool {
 // db.recovering, so no second attempt runs concurrently; writers fail
 // fast and the flush/compaction workers idle while the latch is set.
 func (db *DB) recoverOnce(be *BackgroundError) error {
+	diskFull := isDiskFull(be.Err)
+	if diskFull {
+		// Wait-for-space: a disk-full latch is healed by headroom, not
+		// by retrying the repair into the same wall. Reclaim whatever
+		// the engine can free on its own (obsolete WALs, zombie SSTs,
+		// stale manifests), then probe for space; a failed probe aborts
+		// this attempt so the loop polls with its capped backoff
+		// instead of burning a doomed WAL-swap/manifest-roll.
+		if err := db.waitForSpaceOnce(); err != nil {
+			db.metrics.SpaceWaits.Add(1)
+			return err
+		}
+	}
 	var err error
 	switch categoryOf(be.Op) {
 	case catWAL:
@@ -164,11 +177,16 @@ func (db *DB) recoverOnce(be *BackgroundError) error {
 		err = db.recoverManifest()
 	case catCorruption:
 		err = db.recoverCorruption(be)
+	case catSpace:
+		err = db.recoverSpace()
 	default:
 		return fmt.Errorf("engine: no recovery procedure for %q", be.Op)
 	}
 	if err != nil {
 		return err
+	}
+	if diskFull {
+		db.metrics.SpaceRecoveries.Add(1)
 	}
 
 	db.mu.Lock()
@@ -225,6 +243,7 @@ func (db *DB) recoverWAL() error {
 	if err != nil {
 		return fmt.Errorf("engine: recovery wal probe: %w", err)
 	}
+	db.spaceTrack(manifest.WALName(newNum), 0)
 
 	db.mu.Lock()
 	oldFile := db.walFile
@@ -270,6 +289,12 @@ func (db *DB) recoverManifest() error {
 	// Roll mutates only version-set state; every other mutator is
 	// either quiesced or excluded by manifestBusy.
 	err := db.vs.Roll()
+	if err == nil && db.space != nil {
+		name := manifest.ManifestName(db.vs.ManifestNum())
+		if size, serr := db.fs.Size(name); serr == nil {
+			db.spaceTrack(name, size)
+		}
+	}
 
 	db.mu.Lock()
 	db.manifestBusy = false
@@ -278,6 +303,23 @@ func (db *DB) recoverManifest() error {
 	if err != nil {
 		return err
 	}
+	return db.recoveryDrainImms()
+}
+
+// recoverSpace heals a disk-full flush/compaction latch. The WAL and
+// MANIFEST are intact — the latch exists only because SST output could
+// not be written — so once waitForSpaceOnce has verified headroom (the
+// probe ran before this was called), the repair is simply to drain the
+// immutable queue the latch interrupted. Compaction needs no explicit
+// redo: its inputs are still live and the picker re-selects them once
+// the latch clears.
+func (db *DB) recoverSpace() error {
+	db.mu.Lock()
+	if !db.quiesceForRecoveryLocked() {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.mu.Unlock()
 	return db.recoveryDrainImms()
 }
 
@@ -325,7 +367,7 @@ func (db *DB) recoveryDrainImms() error {
 			db.emitFlushEnd(fm.reason, fm.walNum, num, 0, l0Files,
 				db.clk.Now().Sub(flushStart), err)
 			if del {
-				_ = db.fs.Remove(manifest.SSTName(num))
+				_ = db.spaceRemove(db.fs, manifest.SSTName(num))
 			}
 			return err
 		}

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
 	"xpointdb/internal/events"
 	"xpointdb/internal/faultfs"
+	"xpointdb/internal/vfs"
 )
 
 // waitHealthy polls until the DB reports Healthy (latch cleared, no
@@ -43,23 +45,33 @@ func hasRecoveryEvent(buf *events.Buffer, kind events.Kind, manual bool) bool {
 // spelled out.
 func TestSeverityClassification(t *testing.T) {
 	cause := errors.New("io fault")
+	full := fmt.Errorf("write: %w", vfs.ErrNoSpace)
 	cases := []struct {
 		op   string
+		err  error
 		want Severity
 	}{
-		{opFlush, SeveritySoft},
-		{opCompaction, SeveritySoft},
-		{opWALRotateCreate, SeveritySoft},
-		{opWALAppend, SeverityHard},
-		{opWALSync, SeverityHard},
-		{opWALRotateSync, SeverityHard},
-		{opManifestAppend, SeverityHard},
-		{opManifestInstall, SeverityFatal},
-		{"some-new-op", SeverityUnrecoverable},
+		{opFlush, cause, SeveritySoft},
+		{opCompaction, cause, SeveritySoft},
+		{opWALRotateCreate, cause, SeveritySoft},
+		{opWALAppend, cause, SeverityHard},
+		{opWALSync, cause, SeverityHard},
+		{opWALRotateSync, cause, SeverityHard},
+		{opManifestAppend, cause, SeverityHard},
+		{opManifestInstall, cause, SeverityFatal},
+		{"some-new-op", cause, SeverityUnrecoverable},
+		// Disk-full escalates flush/compaction to hard (retrying in
+		// place cannot succeed until space frees, and the stalled write
+		// path needs a latch to fail fast on); rotate-create stays soft
+		// because the writer already surfaces the error synchronously.
+		{opFlush, full, SeverityHard},
+		{opCompaction, full, SeverityHard},
+		{opWALRotateCreate, full, SeveritySoft},
+		{opFlush, fmt.Errorf("sst: %w", syscall.ENOSPC), SeverityHard},
 	}
 	for _, c := range cases {
-		if got := classifySeverity(c.op, cause); got != c.want {
-			t.Errorf("classifySeverity(%q) = %v, want %v", c.op, got, c.want)
+		if got := classifySeverity(c.op, c.err); got != c.want {
+			t.Errorf("classifySeverity(%q, %v) = %v, want %v", c.op, c.err, got, c.want)
 		}
 	}
 	if !SeveritySoft.Recoverable() || !SeverityHard.Recoverable() {

@@ -66,6 +66,11 @@ type MetricsSnapshot struct {
 	CorruptionsRepaired int64
 	DataLossEvents      int64
 
+	EnospcErrors    int64
+	SpaceDeferrals  int64
+	SpaceWaits      int64
+	SpaceRecoveries int64
+
 	FlushMean      time.Duration
 	FlushP99       time.Duration
 	CompactionMean time.Duration
@@ -140,6 +145,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CorruptionsRepaired: m.CorruptionsRepaired.Load(),
 		DataLossEvents:      m.DataLossEvents.Load(),
 
+		EnospcErrors:    m.EnospcErrors.Load(),
+		SpaceDeferrals:  m.SpaceDeferrals.Load(),
+		SpaceWaits:      m.SpaceWaits.Load(),
+		SpaceRecoveries: m.SpaceRecoveries.Load(),
+
 		FlushMean:      m.FlushLatency.Mean(),
 		FlushP99:       m.FlushLatency.Percentile(99),
 		CompactionMean: m.CompactionLatency.Mean(),
@@ -187,6 +197,10 @@ func (m *Metrics) Report() string {
 		s.ScrubPasses, s.ScrubPassMean, s.ScrubbedBytes)
 	fmt.Fprintf(&b, "integrity      : %d corruptions detected, %d quarantined, %d repaired, %d data-loss events\n",
 		s.CorruptionsDetected, s.FilesQuarantined, s.CorruptionsRepaired, s.DataLossEvents)
+	if s.EnospcErrors > 0 || s.SpaceDeferrals > 0 || s.SpaceWaits > 0 || s.SpaceRecoveries > 0 {
+		fmt.Fprintf(&b, "space events   : %d ENOSPC errors, %d deferred jobs, %d full probes, %d recoveries\n",
+			s.EnospcErrors, s.SpaceDeferrals, s.SpaceWaits, s.SpaceRecoveries)
+	}
 	if s.SlowOps > 0 || s.EventsDropped > 0 {
 		fmt.Fprintf(&b, "ops plane      : %d slow ops traced, %d events dropped\n",
 			s.SlowOps, s.EventsDropped)
@@ -292,6 +306,10 @@ func (db *DB) StatsReport() string {
 		fmt.Fprintf(&b, "health         : %v\n", health)
 	}
 	fmt.Fprintf(&b, "lsm            : %s; immutables %d\n", strings.Join(lsm, ", "), imms)
+	if db.space != nil {
+		fmt.Fprintf(&b, "space          : used %d B, reserved %d B, budget %d B (state %v)\n",
+			db.space.Used(), db.space.Reserved(), db.space.Budget(), db.space.State())
+	}
 	total, delayed, adjustments := db.controller.Stats()
 	fmt.Fprintf(&b, "controller     : state %v, rate %.1f MB/s (%d delayed ops %v total, %d rate steps)\n",
 		stall, db.controller.Rate()/(1<<20), delayed, total.Round(time.Microsecond), adjustments)

@@ -138,7 +138,7 @@ func (db *DB) sweepZombies() {
 	}
 	for _, num := range zombies {
 		db.tables.evict(num)
-		_ = db.fs.Remove(manifest.SSTName(num))
+		_ = db.spaceRemove(db.fs, manifest.SSTName(num))
 	}
 	db.metrics.ZombieFilesDeleted.Add(int64(len(zombies)))
 	db.emitObsoleteGC(zombies)

@@ -58,6 +58,31 @@ func TestTortureTransientRecovery(t *testing.T) {
 	}
 }
 
+// TestTortureEnospcRecovery runs the full-disk torture mode: the
+// filesystem quota squeezes below current usage at random points (and
+// releases on a timer — the out-of-band operator freeing space), and
+// the engine must keep every acknowledged write, keep serving reads
+// throughout, and return the SAME handle to Healthy via wait-for-space
+// recovery. A final never-released squeeze must produce an honest,
+// bounded giveup — not a hang — and a manual Resume after release must
+// heal. On failure, reproduce with `go run ./cmd/torture -seed N
+// -enospc`.
+func TestTortureEnospcRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture harness skipped in -short mode")
+	}
+	for i := 0; i < *tortureIters; i++ {
+		seed := *tortureSeed + int64(i)
+		cfg := torture.Config{Seed: seed, Ops: *tortureOps, Enospc: true}
+		if testing.Verbose() {
+			cfg.Logf = t.Logf
+		}
+		if err := torture.Run(cfg); err != nil {
+			t.Fatalf("%v\n\nreproduce with: go run ./cmd/torture -seed %d -enospc", err, seed)
+		}
+	}
+}
+
 // TestTortureBitrotRecovery runs the silent-corruption torture mode:
 // seeded bit flips on SST reads (transient hiccups or persistent media
 // rot), and the integrity machinery must never serve silently wrong

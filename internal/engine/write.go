@@ -283,6 +283,12 @@ func (db *DB) leaderCommit(leader *writer) {
 		walStart := db.clk.Now()
 		rep := db.combinedRepr(group)
 		walErr = db.walWriter.AddRecord(rep)
+		if walErr == nil && db.space != nil {
+			// Charge the appended record to the live WAL (record framing
+			// is a few bytes per block, ignored). Guarded so the hot path
+			// pays nothing when space accounting is off.
+			db.spaceGrow(manifest.WALName(walNum), int64(len(rep)))
+		}
 		if db.cost != nil {
 			db.cost.ChargeWALAppend(db.clk, len(rep))
 		}

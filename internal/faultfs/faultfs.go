@@ -195,6 +195,17 @@ type FS struct {
 	inject  int64
 	crashAt int64 // capture a snapshot when ops reaches this (>0)
 	snap    *Snapshot
+
+	// Capacity quota. quota < 0 means unlimited (the default); used is
+	// the sum of shadow byte lengths, maintained incrementally at every
+	// shadow mutation. When a quota is set, Write/Create/Sync are
+	// metered against it and fail with an error wrapping vfs.ErrNoSpace
+	// once the budget is exhausted — SetQuota below current usage
+	// models an externally filled disk (everything fails until space is
+	// freed or the quota grows back).
+	quota  int64
+	used   int64
+	enospc int64 // operations failed by the quota
 }
 
 var _ vfs.FS = (*FS)(nil)
@@ -209,6 +220,7 @@ func New(inner vfs.FS, seed int64) (*FS, error) {
 		clk:     clock.Real{},
 		rng:     rand.New(rand.NewSource(seed)),
 		shadows: make(map[string]*shadow),
+		quota:   -1,
 	}
 	names, err := inner.List()
 	if err != nil {
@@ -232,8 +244,75 @@ func New(inner vfs.FS, seed int64) (*FS, error) {
 			}
 		}
 		f.shadows[name] = &shadow{data: data, synced: len(data)}
+		f.used += int64(size)
 	}
 	return f, nil
+}
+
+// ErrNoSpace is the quota's disk-full error. It wraps vfs.ErrNoSpace,
+// so errors.Is(err, vfs.ErrNoSpace) identifies injected capacity
+// exhaustion exactly like a real ENOSPC.
+var ErrNoSpace = fmt.Errorf("faultfs: disk full: %w", vfs.ErrNoSpace)
+
+// SetQuota installs (or adjusts at runtime) the capacity budget in
+// bytes; negative means unlimited. Shrinking the quota below current
+// usage makes every subsequent Write/Create/Sync fail with ErrNoSpace
+// until files are removed or the quota grows — the squeeze/release
+// primitive the ENOSPC torture mode is built on.
+func (f *FS) SetQuota(bytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.quota = bytes
+}
+
+// Quota returns the current byte budget (negative = unlimited).
+func (f *FS) Quota() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.quota
+}
+
+// DiskUsed returns the bytes currently consumed (the sum of all file
+// lengths as written through the wrapper).
+func (f *FS) DiskUsed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.used
+}
+
+// EnospcCount returns how many operations the quota has failed.
+func (f *FS) EnospcCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.enospc
+}
+
+// chargeQuota meters one operation against the byte budget: add is the
+// bytes the operation would append (0 for Create/Sync, which only
+// probe for headroom). It returns ErrNoSpace when the budget cannot
+// cover it. A full disk fails creates outright (no inode headroom),
+// and a disk squeezed below usage fails syncs too — dirty pages have
+// nowhere to go, which is how kernels surface ENOSPC on fsync.
+func (f *FS) chargeQuota(op Op, add int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.quota < 0 {
+		return nil
+	}
+	over := false
+	switch op {
+	case OpWrite:
+		over = f.used+int64(add) > f.quota
+	case OpCreate:
+		over = f.used >= f.quota
+	default: // OpSync
+		over = f.used > f.quota
+	}
+	if over {
+		f.enospc++
+		return ErrNoSpace
+	}
+	return nil
 }
 
 // SetClock installs the clock used for injected latency and trace
@@ -462,9 +541,16 @@ func (f *FS) Create(name string) (vfs.File, error) {
 			return nil, err
 		}
 	}
+	if err := f.chargeQuota(OpCreate, 0); err != nil {
+		f.emit(OpCreate, name, 0, start, err, true)
+		return nil, err
+	}
 	h, err := f.inner.Create(name)
 	if err == nil {
 		f.mu.Lock()
+		if old, ok := f.shadows[name]; ok {
+			f.used -= int64(len(old.data)) // truncation frees the old bytes
+		}
 		f.shadows[name] = &shadow{}
 		f.mu.Unlock()
 	}
@@ -508,6 +594,9 @@ func (f *FS) Remove(name string) error {
 	err := f.inner.Remove(name)
 	if err == nil {
 		f.mu.Lock()
+		if sh, ok := f.shadows[name]; ok {
+			f.used -= int64(len(sh.data))
+		}
 		delete(f.shadows, name)
 		f.mu.Unlock()
 	}
@@ -532,6 +621,9 @@ func (f *FS) Rename(oldname, newname string) error {
 	if err == nil {
 		f.mu.Lock()
 		if sh, ok := f.shadows[oldname]; ok {
+			if tgt, ok := f.shadows[newname]; ok {
+				f.used -= int64(len(tgt.data)) // replaced target freed
+			}
 			delete(f.shadows, oldname)
 			f.shadows[newname] = sh
 		}
@@ -606,6 +698,10 @@ func (h *file) Write(p []byte) (int, error) {
 			return 0, err
 		}
 	}
+	if err := h.fs.chargeQuota(OpWrite, len(p)); err != nil {
+		h.fs.emit(OpWrite, h.name, len(p), start, err, true)
+		return 0, err
+	}
 	n, err := h.inner.Write(p)
 	if n > 0 {
 		h.fs.record(h.name, p[:n])
@@ -623,6 +719,7 @@ func (f *FS) record(name string, p []byte) {
 		f.shadows[name] = sh
 	}
 	sh.data = append(sh.data, p...)
+	f.used += int64(len(p))
 	f.mu.Unlock()
 }
 
@@ -686,6 +783,10 @@ func (h *file) Sync() error {
 			h.fs.emit(OpSync, h.name, 0, start, err, true)
 			return err
 		}
+	}
+	if err := h.fs.chargeQuota(OpSync, 0); err != nil {
+		h.fs.emit(OpSync, h.name, 0, start, err, true)
+		return err
 	}
 	err := h.inner.Sync()
 	if err == nil {

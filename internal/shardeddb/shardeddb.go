@@ -124,6 +124,7 @@ type DB struct {
 	blocks     *cache.Cache
 	pool       *bgpool.Pool
 	controller *throttle.Controller
+	space      *engine.SpaceManager
 
 	ev     eventsSink // shared tagged event stream (serve.go)
 	hub    *obs.Hub
@@ -163,7 +164,8 @@ func Open(opts Options) (*DB, error) {
 		return nil, errors.New("shardeddb: Options.Engine.FS is required (or ShardFS+MetaFS)")
 	}
 	if opts.Engine.BlockCache != nil || opts.Engine.Controller != nil ||
-		opts.Engine.BGPool != nil || opts.Engine.CacheID != 0 || opts.Engine.ShardTag != 0 {
+		opts.Engine.BGPool != nil || opts.Engine.CacheID != 0 || opts.Engine.ShardTag != 0 ||
+		opts.Engine.SpaceManager != nil {
 		return nil, errors.New("shardeddb: shared-resource engine options are owned by the sharded layer")
 	}
 	if len(opts.Boundaries) == 0 && opts.Shards > 1 {
@@ -209,6 +211,13 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 	db.pool = bgpool.New(clk, slots)
+	if opts.Engine.MaxAllowedSpace > 0 {
+		// One space budget across every shard: a hot shard's files and
+		// reservations consume headroom all shards observe, and each
+		// shard's ladder subscription folds the shared state into its
+		// own stall computation.
+		db.space = engine.NewSpaceManager(opts.Engine.MaxAllowedSpace, opts.Engine.FreeSpaceThreshold)
+	}
 	db.wireEvents() // serve.go: hub + tagged sink
 	tcfg := throttle.Config{
 		Mode:             opts.Engine.ThrottleMode,
@@ -276,10 +285,11 @@ func (db *DB) shardOptions(i int, fs vfs.FS) engine.Options {
 	o.BlockCache = db.blocks
 	o.BlockCacheSize = 0
 	o.CacheID = uint64(i+1) << 48
-	// Shared write controller and background pool.
+	// Shared write controller, background pool and space budget.
 	o.Controller = db.controller
 	o.StallSource = i
 	o.BGPool = db.pool
+	o.SpaceManager = db.space
 	// One event stream, one ops server — owned here, not per shard.
 	o.ObsAddr = ""
 	o.EventListener = db.shardListener(i)
@@ -505,6 +515,10 @@ func (db *DB) Controller() *throttle.Controller { return db.controller }
 
 // Pool exposes the shared background pool.
 func (db *DB) Pool() *bgpool.Pool { return db.pool }
+
+// SpaceManager exposes the shared space budget manager, or nil when no
+// budget is configured.
+func (db *DB) SpaceManager() *engine.SpaceManager { return db.space }
 
 // Close closes every shard and the coordinator state. The shards close
 // in parallel — each drains its own writers and workers.

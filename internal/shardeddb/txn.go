@@ -191,8 +191,20 @@ func (db *DB) appendCommitLocked(id uint64) error {
 	if err := db.txnLog.AddRecord(rec); err != nil {
 		return err
 	}
-	return db.txnLog.Sync()
+	if err := db.txnLog.Sync(); err != nil {
+		return err
+	}
+	if db.space != nil {
+		// Charge the appended record to the shared space budget (record
+		// framing is a few bytes, ignored — rotation re-measures).
+		db.space.GrowFile(metaSpaceKey(db.txnName), int64(len(rec)))
+	}
+	return nil
 }
+
+// metaSpaceKey namespaces coordinator files in the shared space
+// manager ("meta/" cannot collide with the shards' "s<i>/" keys).
+func metaSpaceKey(name string) string { return "meta/" + name }
 
 // ---------------------------------------------------------------------
 // Coordinator log lifecycle
@@ -330,8 +342,16 @@ func (db *DB) writeTxnLog(epoch uint32, gen int, pending []uint64) error {
 	}
 	if db.txnName != "" && db.txnName != name {
 		_ = db.metaFS.Remove(db.txnName)
+		if db.space != nil {
+			db.space.UntrackFile(metaSpaceKey(db.txnName))
+		}
 	}
 	db.txnFile, db.txnLog, db.txnName = f, w, name
+	if db.space != nil {
+		if size, err := db.metaFS.Size(name); err == nil {
+			db.space.TrackFile(metaSpaceKey(name), size)
+		}
+	}
 	return nil
 }
 

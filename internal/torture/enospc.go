@@ -1,0 +1,344 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"xpointdb/internal/batch"
+	"xpointdb/internal/clock"
+	"xpointdb/internal/engine"
+	"xpointdb/internal/events"
+	"xpointdb/internal/faultfs"
+	"xpointdb/internal/storage"
+	"xpointdb/internal/vfs"
+)
+
+// runEnospc is the full-disk half of the robustness story: the
+// transient mode proves the engine heals injected I/O faults; this mode
+// proves it survives the disk itself running out. A seeded workload
+// runs while the faultfs byte quota is squeezed below current usage at
+// random points (every write, create and sync fails with
+// vfs.ErrNoSpace) and released some ops later — the out-of-band
+// operator "freeing space". The engine must ride the wait-for-space
+// recovery path back to Healthy on the SAME handle, and at the end a
+// squeeze that is never released must produce a bounded, honest giveup
+// that a manual Resume clears once space returns.
+//
+// The contract checked on every run:
+//
+//  1. Zero acked-write loss. Every mutation whose Apply returned nil
+//     reads back exactly, across any number of squeeze episodes.
+//  2. Reads never block on a full disk. Point lookups during an active
+//     squeeze must serve the acked state — degradation applies to
+//     writes only.
+//  3. Self-healing. After a squeeze releases, the DB returns to
+//     Healthy with no reopen (a giveup after an unluckily slow scrape
+//     is tolerated if a single Resume clears it — same handle).
+//  4. Honest failures. A failed Apply may only report the injected
+//     quota error, the background-error latch, or an injected fault;
+//     and a squeeze that never releases must end in a giveup after the
+//     bounded attempt budget — not a hang, not a lie.
+func runEnospc(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	dev := storage.New(clock.Real{}, storage.Null())
+	ffs, err := faultfs.New(vfs.NewMem(dev), rng.Int63())
+	if err != nil {
+		return fmt.Errorf("torture seed %d: faultfs: %w", cfg.Seed, err)
+	}
+	geo := pickGeometry(rng)
+	buf := &events.Buffer{}
+	opts := engine.DefaultOptions(ffs)
+	geo.apply(&opts)
+	opts.EventListener = buf
+	opts.EventSinkQueue = -1
+	// Tight backoffs keep space polling fast; the attempt budget is
+	// sized so a workload squeeze (released within a few milliseconds
+	// of ops) never exhausts it, while the never-released squeeze in
+	// the final phase gives up in a few hundred milliseconds.
+	opts.RecoveryBaseBackoff = time.Millisecond
+	opts.RecoveryMaxBackoff = 5 * time.Millisecond
+	opts.MaxRecoveryAttempts = 60
+	if rng.Intn(2) == 0 {
+		// Half the seeds also run the space-budget accounting (ladder
+		// thresholds sized well above what the workload writes, so the
+		// quota squeeze — not the ladder — is what bites; the ladder's
+		// own behavior has dedicated unit tests).
+		opts.MaxAllowedSpace = 512 << 20
+	}
+	db, err := engine.Open(opts)
+	if err != nil {
+		return fmt.Errorf("torture seed %d: open: %w", cfg.Seed, err)
+	}
+	defer db.Close()
+
+	// Schedule 1-3 squeeze episodes at random op indices. Each squeezes
+	// the quota below the usage at that moment — every byte of forward
+	// progress needs space that is not there — and RELEASES ON A TIMER,
+	// not an op index: a squeeze can block the workload itself (a full
+	// immutable queue parks the write leader while the flush soft-fails
+	// in place), so an op-counted release would deadlock the harness.
+	// The timer is the out-of-band operator freeing space.
+	squeezeAt := map[int]bool{}
+	n := 1 + rng.Intn(3)
+	span := cfg.Ops / (n + 1)
+	for e := 0; e < n; e++ {
+		squeezeAt[e*span+20+rng.Intn(span/2)] = true
+	}
+
+	key := func() string { return fmt.Sprintf("k%03d", rng.Intn(cfg.Keys)) }
+	live := map[string]string{}
+	failed := 0
+	squeezed := false
+	var released chan struct{}
+	for i := 0; i < cfg.Ops; i++ {
+		if squeezed {
+			select {
+			case <-released:
+				squeezed = false
+				cfg.Logf("op %d: quota released", i)
+				// The latch (if any) must clear on this same handle. A
+				// giveup can slip in when the squeeze outlasted the
+				// attempt budget; a single Resume must then finish the
+				// job.
+				if err := waitHealthyOrResume(cfg, db, 15*time.Second); err != nil {
+					return err
+				}
+			default:
+			}
+		}
+		if squeezeAt[i] && !squeezed {
+			used := ffs.DiskUsed()
+			q := used - 1
+			if q < 1 {
+				q = 1
+			}
+			ffs.SetQuota(q)
+			squeezed = true
+			hold := time.Duration(2+rng.Intn(30)) * time.Millisecond
+			ch := make(chan struct{})
+			released = ch
+			time.AfterFunc(hold, func() {
+				ffs.SetQuota(-1)
+				close(ch)
+			})
+			cfg.Logf("op %d: quota squeezed to %d B (used %d B) for %v", i, q, used, hold)
+		}
+
+		var b batch.Batch
+		sync := rng.Float64() < 0.25
+		b.Put([]byte(cutKey), []byte(strconv.Itoa(i)))
+		muts := make([]mut, 0, 4)
+		for m, nm := 0, 1+rng.Intn(4); m < nm; m++ {
+			k := key()
+			if rng.Float64() < 0.2 {
+				b.Delete([]byte(k))
+				muts = append(muts, mut{key: k, del: true})
+			} else {
+				v := fmt.Sprintf("v%06d-%s-%04d", i, k, rng.Intn(10000))
+				b.Put([]byte(k), []byte(v))
+				muts = append(muts, mut{key: k, val: v})
+			}
+		}
+		// Reads must serve the acked state at all times — sampled much
+		// harder during a squeeze (and after failed writes), where a
+		// blocking or erroring read would be the bug this contract
+		// exists to catch.
+		spotRead := func() error {
+			p := 0.02
+			if squeezed {
+				p = 0.25
+			}
+			if rng.Float64() >= p {
+				return nil
+			}
+			k := key()
+			v, gerr := db.Get([]byte(k))
+			want, ok := live[k]
+			switch {
+			case !ok && !errors.Is(gerr, engine.ErrNotFound):
+				return violation(cfg, "enospc", "Get(%q) = (%q, %v), want ErrNotFound", k, v, gerr)
+			case ok && gerr != nil:
+				return violation(cfg, "enospc", "Get(%q) during squeeze=%v failed: %v", k, squeezed, gerr)
+			case ok && string(v) != want:
+				return violation(cfg, "enospc", "Get(%q) = %q, want %q", k, v, want)
+			}
+			return nil
+		}
+
+		if err := db.Apply(&b, sync); err != nil {
+			if !errors.Is(err, vfs.ErrNoSpace) && !errors.Is(err, engine.ErrBackground) &&
+				!errors.Is(err, faultfs.ErrInjected) {
+				return violation(cfg, "enospc", "Apply(op %d) failed with a foreign error: %v", i, err)
+			}
+			failed++
+			if err := spotRead(); err != nil {
+				return err
+			}
+			// Unacknowledged; the scheduled release resolves the latch.
+			// Back off like a real client so the squeeze window covers a
+			// bounded number of failed ops instead of the whole workload.
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		live[cutKey] = strconv.Itoa(i)
+		for _, m := range muts {
+			if m.del {
+				delete(live, m.key)
+			} else {
+				live[m.key] = m.val
+			}
+		}
+		if err := spotRead(); err != nil {
+			return err
+		}
+	}
+
+	// Workload done. Wait out a still-pending release timer (its late
+	// fire must not sabotage the never-released phase below), then
+	// settle and verify the full acked state on the same handle.
+	if squeezed {
+		<-released
+	}
+	ffs.SetQuota(-1)
+	if err := waitHealthyOrResume(cfg, db, 15*time.Second); err != nil {
+		return err
+	}
+	m := db.Metrics()
+	cfg.Logf("enospc: %d/%d ops failed; %d ENOSPC, %d space waits, %d space recoveries, %d deferrals; recovery %d attempts %d successes %d giveups",
+		failed, cfg.Ops, m.EnospcErrors.Load(), m.SpaceWaits.Load(),
+		m.SpaceRecoveries.Load(), m.SpaceDeferrals.Load(),
+		m.RecoveryAttempts.Load(), m.RecoverySuccesses.Load(), m.RecoveryGiveups.Load())
+	if m.EnospcErrors.Load() == 0 {
+		return violation(cfg, "enospc", "quota squeezes fired but no ENOSPC error was ever recorded")
+	}
+	if err := verify(cfg, "enospc", db, live, rng, cfg.Keys); err != nil {
+		return err
+	}
+
+	// --------------------------------------------------------------
+	// Final phase: squeeze and never release. The engine must not hang:
+	// wait-for-space polls burn the bounded attempt budget and recovery
+	// gives up honestly. Then space returns, and one manual Resume must
+	// finish the recovery on this same handle.
+
+	giveupsBefore := m.RecoveryGiveups.Load()
+	used := ffs.DiskUsed()
+	q := used - 1
+	if q < 1 {
+		q = 1
+	}
+	ffs.SetQuota(q)
+	// Force a hard latch even if the workload left nothing in flight:
+	// a synced write must hit the quota on the WAL.
+	var poison batch.Batch
+	poison.Put([]byte("@poison"), []byte("x"))
+	if err := db.Apply(&poison, true); err == nil {
+		return violation(cfg, "enospc", "synced Apply succeeded under a zero-headroom quota")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for m.RecoveryGiveups.Load() == giveupsBefore && time.Now().Before(deadline) {
+		if db.Health() == engine.Healthy {
+			// The obsolete-file scrape freed enough slack for that
+			// round's repair to land. The disk is supposed to stay
+			// full: tighten to the new usage and re-poison.
+			u := ffs.DiskUsed()
+			if u <= 1 {
+				u = 2
+			}
+			ffs.SetQuota(u - 1)
+			_ = db.Apply(&poison, true)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.RecoveryGiveups.Load() == giveupsBefore {
+		return violation(cfg, "enospc",
+			"quota never released: recovery neither gave up nor succeeded within 30s (attempts %d, health %v)",
+			m.RecoveryAttempts.Load(), db.Health())
+	}
+	if db.Health() == engine.Healthy {
+		return violation(cfg, "enospc", "DB reports Healthy while the disk is still full after a giveup")
+	}
+	if err := db.Apply(&poison, true); err == nil {
+		return violation(cfg, "enospc", "Apply succeeded after giveup with the disk still full")
+	} else if !errors.Is(err, engine.ErrBackground) && !errors.Is(err, vfs.ErrNoSpace) {
+		return violation(cfg, "enospc", "post-giveup Apply failed with a foreign error: %v", err)
+	}
+	// Reads still serve while given up.
+	for k, want := range live {
+		v, gerr := db.Get([]byte(k))
+		if gerr != nil || string(v) != want {
+			return violation(cfg, "enospc", "post-giveup Get(%q) = (%q, %v), want %q", k, v, gerr, want)
+		}
+		break
+	}
+
+	// Space returns; automatic recovery is spent, so the operator's
+	// Resume must clear the latch on this handle.
+	ffs.SetQuota(-1)
+	if err := db.Resume(); err != nil {
+		return violation(cfg, "enospc", "Resume after space release failed: %v", err)
+	}
+	if err := waitTransientHealthy(cfg, db, 15*time.Second); err != nil {
+		return err
+	}
+	if m.SpaceWaits.Load() == 0 {
+		return violation(cfg, "enospc", "a never-released squeeze ran but no failed space probe was recorded")
+	}
+	if m.SpaceRecoveries.Load() == 0 {
+		return violation(cfg, "enospc", "recovered from disk-full latches but SpaceRecoveries is 0")
+	}
+
+	// The healed handle must make durable progress — still no reopen.
+	for i := 0; i < cfg.PostRecoveryOps; i++ {
+		k := key()
+		v := fmt.Sprintf("post-space-%d-%d", cfg.Seed, i)
+		var b batch.Batch
+		b.Put([]byte(k), []byte(v))
+		if err := db.Apply(&b, true); err != nil {
+			return violation(cfg, "enospc", "healed DB rejected write %d: %v", i, err)
+		}
+		live[k] = v
+	}
+	// The poison applies both failed before reaching the memtable, so
+	// "@poison" must be absent — the full-scan verify below treats it
+	// as a phantom if a rejected write leaked in anyway.
+	if err := db.Flush(); err != nil {
+		return violation(cfg, "enospc", "healed DB flush failed: %v", err)
+	}
+	if err := verify(cfg, "enospc", db, live, rng, cfg.Keys); err != nil {
+		return err
+	}
+	if err := db.Close(); err != nil {
+		return violation(cfg, "enospc", "close failed: %v", err)
+	}
+	return nil
+}
+
+// waitHealthyOrResume waits for Healthy like waitTransientHealthy, but
+// tolerates one automatic-recovery giveup by issuing a single manual
+// Resume — the operator action the giveup exists to hand control to.
+// Space is already released when this is called, so either path must
+// converge.
+func waitHealthyOrResume(cfg Config, db *engine.DB, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	resumed := false
+	for time.Now().Before(deadline) {
+		if db.Health() == engine.Healthy {
+			return nil
+		}
+		if !resumed && db.Metrics().RecoveryGiveups.Load() > 0 {
+			resumed = true
+			if err := db.Resume(); err != nil {
+				return violation(cfg, "enospc", "Resume after release failed: %v", err)
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return violation(cfg, "enospc",
+		"DB did not return to Healthy within %v of the quota release: health=%v bgErr=%v",
+		timeout, db.Health(), db.BackgroundError())
+}

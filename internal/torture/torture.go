@@ -81,6 +81,13 @@ type Config struct {
 	// ever — every corruption is detected and either repaired or
 	// declared as bounded data loss. See runBitrot.
 	Bitrot bool
+	// Enospc switches Run to the full-disk mode: the faultfs byte
+	// quota is squeezed below usage and later released while the
+	// workload runs, and the wait-for-space recovery must heal the
+	// SAME handle with zero acked-write loss — plus a never-released
+	// squeeze must end in a bounded honest giveup that a manual Resume
+	// clears once space returns. See runEnospc.
+	Enospc bool
 	// Logf, when set, receives verbose progress (e.g. t.Logf).
 	Logf func(format string, args ...interface{})
 }
@@ -169,6 +176,9 @@ func Run(cfg Config) error {
 	}
 	if cfg.Bitrot {
 		return runBitrot(cfg)
+	}
+	if cfg.Enospc {
+		return runEnospc(cfg)
 	}
 	if cfg.Shards > 1 {
 		return runSharded(cfg)

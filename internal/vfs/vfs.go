@@ -17,6 +17,7 @@
 package vfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -55,6 +56,12 @@ type File interface {
 
 // ErrNotExist is returned when a named file does not exist.
 var ErrNotExist = os.ErrNotExist
+
+// ErrNoSpace is the portable disk-full sentinel. Injected capacity
+// faults (faultfs quota) wrap it, and the engine's error classifier
+// treats it like syscall.ENOSPC, so tests exercise the same disk-full
+// path a real device takes.
+var ErrNoSpace = errors.New("vfs: no space left on device")
 
 // ---------------------------------------------------------------------
 // MemFS
