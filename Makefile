@@ -5,7 +5,7 @@ GO ?= go
 TORTURE_ITERS ?= 50
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier3 bench-observability bench-smoke bench-sharded-smoke obs-smoke
+.PHONY: all tier1 tier2 tier3 bench-observability bench-smoke bench-sharded-smoke bench-compaction-smoke obs-smoke
 
 all: tier1
 
@@ -66,6 +66,15 @@ bench-sharded-smoke:
 	$(GO) run ./cmd/dbbench -device xpoint -shards 4 -benchmarks mixed -threads 8 -duration 3s
 	$(GO) run ./cmd/dbbench -device xpoint -shards 4 -hot_shard_skew 1.3 \
 		-benchmarks readrandomwriterandom -threads 8 -duration 2s -num 8000
+
+# Compaction smoke: fillrandom on the simulated device at
+# max_subcompactions 1 vs 4, printing the BENCH_compaction summary
+# line (throughput, write-stall delay, post-window L0 drain) and
+# failing if the fan-out run never split a compaction. The full
+# device x fan-out matrix behind BENCH_compaction.json is
+# scripts/bench_compaction.sh without --smoke.
+bench-compaction-smoke:
+	bash scripts/bench_compaction.sh --smoke
 
 # Ops-plane smoke: run dbbench on a real directory with -serve and
 # curl every HTTP endpoint (/healthz, /metrics, /stats, /events SSE,

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -64,6 +65,9 @@ func main() {
 		hotSkew    = flag.Float64("hot_shard_skew", 0, "with -shards > 1: draw keys zipfian-hot toward shard 0 with this skew parameter (> 1; 0 = uniform)")
 		diskQuota  = flag.Int64("disk_quota", 0, "model a disk of this many bytes (simulated device only): the filesystem fails with ENOSPC past it, and the engine's space budget (MaxAllowedSpace) defends the same cap; armed after preload")
 		quotaCycle = flag.Duration("quota_cycle", 0, "with -disk_quota: periodically squeeze the quota below current usage for 10%% of each cycle and release it — the full-disk squeeze/release cadence wait-for-space recovery is judged on")
+		maxSub     = flag.Int("max_subcompactions", 1, "split each merging compaction into up to K concurrent key-range sub-compactions (1 = single merge loop)")
+		compRate   = flag.Int64("compaction_rate", 0, "compaction I/O rate limit in bytes/sec shared by all sub-compactions (0 = unlimited)")
+		resultJSON = flag.String("result_json", "", "append a one-line JSON result record (throughput, stalls, L0 drain, compaction mix) to this file")
 	)
 	flag.Parse()
 
@@ -112,6 +116,8 @@ func main() {
 		o.MemtableSize = *memtable
 		o.TargetFileSize = *memtable
 		o.BaseLevelBytes = 4 * *memtable
+		o.MaxSubcompactions = *maxSub
+		o.CompactionRateBytesPerSec = *compRate
 		o.DisableWAL = *disableWAL
 		o.PipelinedWrites = *pipelined
 		o.ThrottleMode = mode
@@ -181,6 +187,7 @@ func main() {
 	var finalStats string
 	var health engine.Health
 	var cyc *quotaCycler
+	var l0Drain time.Duration
 	k.Run(func() {
 		armFaults := func() {}
 		if ffs != nil && *faultProb > 0 {
@@ -229,6 +236,15 @@ func main() {
 					settleSpace(k, sh.Health, sh.Resume)
 				}
 			}
+			l0Drain = drainL0(k, func() int {
+				worst := 0
+				for i := 0; i < sdb.NumShards(); i++ {
+					if n := sdb.Shard(i).NumLevelFiles(0); n > worst {
+						worst = n
+					}
+				}
+				return worst
+			}, opts.L0CompactionTrigger)
 			ssum = summarizeSharded(sdb)
 			health = sdb.Health()
 			if *stats {
@@ -250,6 +266,7 @@ func main() {
 				cyc.wait()
 				settleSpace(k, db.Health, db.Resume)
 			}
+			l0Drain = drainL0(k, func() int { return db.NumLevelFiles(0) }, opts.L0CompactionTrigger)
 			m = db.Metrics()
 			health = db.Health()
 			if *stats {
@@ -271,6 +288,8 @@ func main() {
 	} else {
 		printResult(res, m)
 	}
+	fmt.Printf("l0 drain       : %v after the measured window (max_subcompactions %d, compaction_rate %d B/s)\n",
+		l0Drain.Round(time.Millisecond), *maxSub, *compRate)
 	if *faultProb > 0 {
 		fmt.Printf("fault injection: WAL sync prob %.3g heal %v; %d faults injected; final health %v\n",
 			*faultProb, *faultHeal, ffs.InjectedCount(), health)
@@ -305,6 +324,88 @@ func main() {
 		fmt.Printf("wal device     : %v\n", walDev.Stats())
 	}
 	fmt.Fprintf(os.Stderr, "[%v virtual simulated in %v wall]\n", res.Duration.Round(time.Millisecond), time.Since(wall).Round(time.Millisecond))
+
+	if *resultJSON != "" {
+		rec := benchRecord{
+			Benchmark:           *benchmarks,
+			Device:              prof.Name,
+			Shards:              *shards,
+			Threads:             *threads,
+			MaxSubcompactions:   *maxSub,
+			CompactionRateBps:   *compRate,
+			DurationSeconds:     res.Duration.Seconds(),
+			Ops:                 res.Ops(),
+			ThroughputOpsPerSec: res.Throughput(),
+			L0DrainSeconds:      l0Drain.Seconds(),
+		}
+		var snaps []engine.MetricsSnapshot
+		if m != nil {
+			snaps = []engine.MetricsSnapshot{m.Snapshot()}
+		} else if ssum != nil {
+			snaps = ssum.snaps
+		}
+		for _, s := range snaps {
+			rec.StallDelaySeconds += s.StallDelayTotal.Seconds()
+			rec.StallStopSeconds += s.StallStopTotal.Seconds()
+			rec.StallStops += s.StallStops
+			rec.Compactions += s.Compactions
+			rec.TrivialMoves += s.TrivialMoves
+			rec.Subcompactions += s.Subcompactions
+			rec.CompactionReadBytes += s.CompactionBytesRead
+			rec.CompactionWrittenBytes += s.CompactionBytesWritten
+		}
+		if err := appendResultJSON(*resultJSON, rec); err != nil {
+			log.Fatalf("write -result_json: %v", err)
+		}
+	}
+}
+
+// benchRecord is the one-line JSON summary -result_json appends; the
+// compaction bench script collects these into BENCH_compaction.json.
+type benchRecord struct {
+	Benchmark              string  `json:"benchmark"`
+	Device                 string  `json:"device"`
+	Shards                 int     `json:"shards,omitempty"`
+	Threads                int     `json:"threads"`
+	MaxSubcompactions      int     `json:"max_subcompactions"`
+	CompactionRateBps      int64   `json:"compaction_rate_bytes_per_sec,omitempty"`
+	DurationSeconds        float64 `json:"duration_seconds"`
+	Ops                    int64   `json:"ops"`
+	ThroughputOpsPerSec    float64 `json:"throughput_ops_per_sec"`
+	StallDelaySeconds      float64 `json:"stall_delay_seconds"`
+	StallStopSeconds       float64 `json:"stall_stop_seconds"`
+	StallStops             int64   `json:"stall_stops"`
+	L0DrainSeconds         float64 `json:"l0_drain_seconds"`
+	Compactions            int64   `json:"compactions"`
+	TrivialMoves           int64   `json:"trivial_moves"`
+	Subcompactions         int64   `json:"subcompactions"`
+	CompactionReadBytes    int64   `json:"compaction_read_bytes"`
+	CompactionWrittenBytes int64   `json:"compaction_written_bytes"`
+}
+
+func appendResultJSON(path string, rec benchRecord) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// drainL0 measures how long background compaction needs to bring
+// Level 0 back under the compaction trigger once the measured workload
+// stops — the post-burst catch-up the paper's write stalls hinge on.
+// Capped at 10 virtual minutes (a wedged engine must not hang the run).
+func drainL0(clk clock.Clock, l0 func() int, trigger int) time.Duration {
+	start := clk.Now()
+	for l0() >= trigger && clk.Now().Sub(start) < 10*time.Minute {
+		clk.Sleep(5 * time.Millisecond)
+	}
+	return clk.Now().Sub(start)
 }
 
 func runReal(path string, tweak func(*engine.Options), bench string, threads int, duration time.Duration, num, valueSize int, writeRatio float64, seed int64, stats bool, shards int, hotSkew float64) {

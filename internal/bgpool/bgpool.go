@@ -11,12 +11,24 @@
 // flushes outrank compactions (a stuck flush blocks that shard's
 // writes entirely).
 //
+// A job that can use extra parallelism (a K-way sub-compaction fan-out)
+// holds one blocking-acquired token and draws up to K−1 more with
+// TryAcquireN, which never blocks and never takes a token away from a
+// strictly-higher-priority waiter — so fanning a compaction out can
+// soak up idle slots but can never starve a queued flush.
+//
 // The pool is built on clock.Mutex/Cond so waiters park correctly
 // under both the real and the simulated clock (same pattern as
 // clock.Semaphore).
 package bgpool
 
 import "xpointdb/internal/clock"
+
+// waiter is one process blocked in Acquire.
+type waiter struct {
+	prio float64
+	tag  int
+}
 
 // Pool is a priority token pool. The zero value is not usable; create
 // one with New.
@@ -26,13 +38,17 @@ type Pool struct {
 	slots int
 	avail int
 
-	// waiters maps ticket → priority for processes blocked in Acquire.
+	// waiters maps ticket → waiter for processes blocked in Acquire.
 	// Ties break by ticket order (FIFO) so equal-priority shards make
 	// progress fairly.
-	waiters map[uint64]float64
+	waiters map[uint64]waiter
 	next    uint64
 
 	grants int64
+	// tagGrants attributes grants (blocking and try) to the caller's
+	// tag — the sharded layer passes the shard index, making per-shard
+	// scheduling wins observable.
+	tagGrants map[int]int64
 }
 
 // New returns a pool with n tokens on clk.
@@ -41,23 +57,32 @@ func New(clk clock.Clock, n int) *Pool {
 		panic("bgpool: pool size must be positive")
 	}
 	m := clk.NewMutex()
-	return &Pool{m: m, c: clk.NewCond(m), slots: n, avail: n, waiters: make(map[uint64]float64)}
+	return &Pool{
+		m: m, c: clk.NewCond(m), slots: n, avail: n,
+		waiters:   make(map[uint64]waiter),
+		tagGrants: make(map[int]int64),
+	}
 }
 
 // Acquire takes one token, blocking until one is available and no
 // higher-priority waiter is queued. Higher prio wins; ties go to the
-// earlier arrival.
-func (p *Pool) Acquire(prio float64) {
+// earlier arrival. Grants are attributed to tag 0.
+func (p *Pool) Acquire(prio float64) { p.AcquireTag(prio, 0) }
+
+// AcquireTag is Acquire with the grant attributed to tag (shard index
+// in a sharded store).
+func (p *Pool) AcquireTag(prio float64, tag int) {
 	p.m.Lock()
 	id := p.next
 	p.next++
-	p.waiters[id] = prio
+	p.waiters[id] = waiter{prio: prio, tag: tag}
 	for !(p.avail > 0 && p.topLocked() == id) {
 		p.c.Wait()
 	}
 	delete(p.waiters, id)
 	p.avail--
 	p.grants++
+	p.tagGrants[tag]++
 	if p.avail > 0 && len(p.waiters) > 0 {
 		// More tokens remain; let the next-ranked waiter re-check.
 		p.c.Broadcast()
@@ -65,11 +90,45 @@ func (p *Pool) Acquire(prio float64) {
 	p.m.Unlock()
 }
 
+// TryAcquireN takes up to n extra tokens without blocking and returns
+// how many it got (0..n). A token is only taken while one is free AND
+// no queued waiter outranks prio — a waiting flush (strictly higher
+// priority) always keeps its claim on the next free token, so fan-out
+// can use idle capacity but never starve the queue. Equal-priority
+// waiters do not block the draw: the caller already holds a token for
+// this job, and finishing it sooner returns all tokens earlier.
+func (p *Pool) TryAcquireN(prio float64, n, tag int) int {
+	if n <= 0 {
+		return 0
+	}
+	p.m.Lock()
+	defer p.m.Unlock()
+	for _, w := range p.waiters {
+		if w.prio > prio {
+			return 0
+		}
+	}
+	got := n
+	if got > p.avail {
+		got = p.avail
+	}
+	p.avail -= got
+	p.grants += int64(got)
+	p.tagGrants[tag] += int64(got)
+	return got
+}
+
 // Release returns one token and wakes the waiters so the best-ranked
 // one can claim it.
-func (p *Pool) Release() {
+func (p *Pool) Release() { p.ReleaseN(1) }
+
+// ReleaseN returns n tokens at once (the fan-out extras of one job).
+func (p *Pool) ReleaseN(n int) {
+	if n <= 0 {
+		return
+	}
 	p.m.Lock()
-	p.avail++
+	p.avail += n
 	if p.avail > p.slots {
 		p.m.Unlock()
 		panic("bgpool: Release without Acquire")
@@ -87,9 +146,9 @@ func (p *Pool) topLocked() uint64 {
 	var bestID uint64
 	bestPrio := 0.0
 	first := true
-	for id, prio := range p.waiters {
-		if first || prio > bestPrio || (prio == bestPrio && id < bestID) {
-			bestID, bestPrio, first = id, prio, false
+	for id, w := range p.waiters {
+		if first || w.prio > bestPrio || (w.prio == bestPrio && id < bestID) {
+			bestID, bestPrio, first = id, w.prio, false
 		}
 	}
 	return bestID
@@ -108,4 +167,17 @@ func (p *Pool) Stats() (busy, waiting int, grants int64) {
 	p.m.Lock()
 	defer p.m.Unlock()
 	return p.slots - p.avail, len(p.waiters), p.grants
+}
+
+// TagStats reports one tag's slice of the pool: processes currently
+// blocked in Acquire under the tag, and cumulative grants to it.
+func (p *Pool) TagStats(tag int) (waiting int, grants int64) {
+	p.m.Lock()
+	defer p.m.Unlock()
+	for _, w := range p.waiters {
+		if w.tag == tag {
+			waiting++
+		}
+	}
+	return waiting, p.tagGrants[tag]
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xpointdb/internal/clock"
+	"xpointdb/internal/sim"
 )
 
 func TestPoolBoundsConcurrency(t *testing.T) {
@@ -42,6 +43,39 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 	if grants != 16 {
 		t.Fatalf("grants = %d, want 16", grants)
 	}
+}
+
+// parkWaiters spawns one goroutine per priority, making sure each has
+// parked in Acquire before the next arrives (so ticket order matches
+// the slice order), and returns a drain-order recorder.
+func parkWaiters(t *testing.T, p *Pool, prios []float64) (order *[]float64, wg *sync.WaitGroup) {
+	t.Helper()
+	var mu sync.Mutex
+	order = new([]float64)
+	wg = new(sync.WaitGroup)
+	for i, prio := range prios {
+		wg.Add(1)
+		go func(prio float64) {
+			defer wg.Done()
+			p.Acquire(prio)
+			mu.Lock()
+			*order = append(*order, prio)
+			mu.Unlock()
+			p.Release()
+		}(prio)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			_, waiting, _ := p.Stats()
+			if waiting == i+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never parked (waiting=%d)", i, waiting)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	return order, wg
 }
 
 // TestPoolPriorityOrder parks several waiters behind a held token and
@@ -89,6 +123,190 @@ func TestPoolPriorityOrder(t *testing.T) {
 	for i := range want {
 		if order[i] != want[i] {
 			t.Fatalf("release order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolFIFOTieBreak checks that equal-priority waiters drain in
+// arrival order (ticket FIFO), so no shard starves under a tie.
+func TestPoolFIFOTieBreak(t *testing.T) {
+	p := New(clock.Real{}, 1)
+	p.Acquire(0) // hold the only token
+
+	// Mixed: the two 5s must drain in arrival order relative to each
+	// other, likewise the three 2s.
+	order, wg := parkWaiters(t, p, []float64{2, 5, 2, 5, 2})
+	p.Release()
+	wg.Wait()
+
+	want := []float64{5, 5, 2, 2, 2}
+	for i := range want {
+		if (*order)[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", *order, want)
+		}
+	}
+}
+
+// TestTryAcquireN covers the non-blocking fan-out path: partial
+// grants, refusal when a strictly-higher-priority waiter is parked,
+// and indifference to equal-priority waiters.
+func TestTryAcquireN(t *testing.T) {
+	p := New(clock.Real{}, 4)
+
+	// Free pool: asking for more than available grants what's there.
+	if got := p.TryAcquireN(1, 6, 7); got != 4 {
+		t.Fatalf("TryAcquireN on free pool = %d, want 4", got)
+	}
+	busy, _, _ := p.Stats()
+	if busy != 4 {
+		t.Fatalf("busy = %d after taking all tokens, want 4", busy)
+	}
+
+	// A waiter with strictly higher priority parks; try-acquire at the
+	// lower priority must get nothing even after tokens free up.
+	done := make(chan struct{})
+	go func() {
+		p.Acquire(10)
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, waiting, _ := p.Stats()
+		if waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("high-priority waiter never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	p.ReleaseN(2) // waiter takes one, one token left over
+	<-done
+	busy, waiting, _ := p.Stats()
+	if busy != 3 || waiting != 0 {
+		t.Fatalf("busy=%d waiting=%d after waiter drained, want 3/0", busy, waiting)
+	}
+	// (waiter still holds its token; it never releases in this test.)
+
+	// An equal-priority phantom: TryAcquireN(prio >= top waiter prio)
+	// may take the spare token.
+	if got := p.TryAcquireN(10, 1, 7); got != 1 {
+		t.Fatalf("TryAcquireN with no higher waiter = %d, want 1", got)
+	}
+	// Pool is full again; a strictly higher waiter parks.
+	blocked := make(chan struct{})
+	go func() {
+		p.Acquire(20)
+		close(blocked)
+	}()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, w, _ := p.Stats()
+		if w == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second waiter never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	p.ReleaseN(1)
+	// The freed token must go to the parked 20, not a try at 15.
+	if got := p.TryAcquireN(15, 1, 7); got != 0 {
+		t.Fatalf("TryAcquireN below parked waiter = %d, want 0", got)
+	}
+	<-blocked
+	p.ReleaseN(4) // 10-holder's token + try's token + 20's token + earlier spare... drain all
+	busy, waiting, _ = p.Stats()
+	if busy != 0 || waiting != 0 {
+		t.Fatalf("pool not drained: busy=%d waiting=%d", busy, waiting)
+	}
+}
+
+// TestTagStats checks grant attribution per tag for both the blocking
+// and the try paths.
+func TestTagStats(t *testing.T) {
+	p := New(clock.Real{}, 4)
+	p.AcquireTag(1, 3)
+	p.AcquireTag(1, 3)
+	if n := p.TryAcquireN(1, 2, 5); n != 2 {
+		t.Fatalf("TryAcquireN = %d, want 2", n)
+	}
+	if _, g := p.TagStats(3); g != 2 {
+		t.Fatalf("tag 3 grants = %d, want 2", g)
+	}
+	if _, g := p.TagStats(5); g != 2 {
+		t.Fatalf("tag 5 grants = %d, want 2", g)
+	}
+	if _, g := p.TagStats(9); g != 0 {
+		t.Fatalf("tag 9 grants = %d, want 0", g)
+	}
+	p.ReleaseN(4)
+	_, _, grants := p.Stats()
+	if grants != 4 {
+		t.Fatalf("total grants = %d, want 4", grants)
+	}
+}
+
+// TestReleaseNOverflowPanics pins the bookkeeping guard: returning more
+// tokens than were taken is a caller bug and must fail loudly.
+func TestReleaseNOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReleaseN past pool size did not panic")
+		}
+	}()
+	p := New(clock.Real{}, 2)
+	p.ReleaseN(1)
+}
+
+// TestPoolSimClock runs the priority machinery under the simulated
+// kernel: waiters park in virtual time, so the drain order is fully
+// deterministic (no real-time polling needed).
+func TestPoolSimClock(t *testing.T) {
+	k := sim.New(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+	var order []float64
+	var mu sync.Mutex
+	k.Run(func() {
+		p := New(k, 1)
+		p.Acquire(0) // hold the only token
+		prios := []float64{1, 5, 3}
+		for i, prio := range prios {
+			prio := prio
+			delay := time.Duration(i+1) * time.Millisecond
+			k.Go("waiter", func() {
+				k.Sleep(delay) // staggered arrivals in virtual time
+				p.Acquire(prio)
+				mu.Lock()
+				order = append(order, prio)
+				mu.Unlock()
+				p.Release()
+			})
+		}
+		// All three are parked once virtual time passes their arrivals.
+		k.Sleep(10 * time.Millisecond)
+		if _, waiting, _ := p.Stats(); waiting != 3 {
+			t.Errorf("waiting = %d, want 3", waiting)
+		}
+		p.Release()
+		// Drain: each waiter releases as soon as it records its slot.
+		for {
+			busy, waiting, _ := p.Stats()
+			if busy == 0 && waiting == 0 {
+				break
+			}
+			k.Sleep(time.Millisecond)
+		}
+	})
+	want := []float64{5, 3, 1}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("drained %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", order, want)
 		}
 	}
 }

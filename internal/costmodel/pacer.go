@@ -1,0 +1,71 @@
+package costmodel
+
+import (
+	"sync"
+	"time"
+
+	"xpointdb/internal/clock"
+)
+
+// Pacer is a byte-rate limiter for background I/O, built on virtual
+// time: each charge computes how long the bytes take at the configured
+// rate and sleeps the caller until its reserved slot arrives. It is the
+// compaction I/O governor — every sub-compaction charges its reads and
+// writes here, so however many merge loops run concurrently, their
+// aggregate device traffic stays bounded against foreground ops
+// (RocksDB's rate_limiter, reduced to the pacing essence).
+//
+// A nil *Pacer charges nothing. One Pacer may be shared across engines
+// (shards): the reservation window is protected by a plain mutex that
+// is never held across the sleep.
+type Pacer struct {
+	mu sync.Mutex
+	// nextFree is when the next charge may start, in nanoseconds of
+	// engine-clock time; lazily initialized from the first charge.
+	nextFree time.Time
+	started  bool
+	rate     float64 // bytes per second
+}
+
+// NewPacer returns a pacer admitting bytesPerSec of charged I/O.
+// Non-positive rates return nil (unlimited).
+func NewPacer(bytesPerSec int64) *Pacer {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	return &Pacer{rate: float64(bytesPerSec)}
+}
+
+// Wait charges n bytes and sleeps until the pacer admits them. The
+// sleep happens on clk with no locks held, so concurrent chargers
+// queue in virtual time, not on the mutex.
+func (p *Pacer) Wait(clk clock.Clock, n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	now := clk.Now()
+	cost := time.Duration(float64(n) / p.rate * float64(time.Second))
+
+	p.mu.Lock()
+	if !p.started || p.nextFree.Before(now) {
+		// Idle pacer: unused capacity does not accumulate (no burst
+		// debt), the charge starts now.
+		p.nextFree = now
+		p.started = true
+	}
+	start := p.nextFree
+	p.nextFree = start.Add(cost)
+	p.mu.Unlock()
+
+	if d := start.Add(cost).Sub(now); d > 0 {
+		clk.Sleep(d)
+	}
+}
+
+// Rate reports the configured bytes/second (0 for a nil pacer).
+func (p *Pacer) Rate() int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(p.rate)
+}

@@ -30,11 +30,50 @@ func (db *DB) openCompactionInput(meta *manifest.FileMeta) (*sstable.Reader, err
 	return sstable.NewReader(preloaded{data: data}, meta.Size, meta.Num, nil)
 }
 
+// openCompactionInputWindow opens an SST for a sub-compaction scan
+// bounded to the internal keys in [startIK, endIK) (nil = unbounded):
+// the table metadata (footer/index/filter) is read from the real file,
+// the index is walked to find the byte window of data blocks the
+// bounded scan can touch, and only that window is fetched with one
+// streaming read. A nil reader with nil error means no block of the
+// file intersects the range. read reports the bytes fetched.
+func (db *DB) openCompactionInputWindow(meta *manifest.FileMeta, startIK, endIK []byte) (r *sstable.Reader, read int64, err error) {
+	f, err := db.fs.Open(manifest.SSTName(meta.Num))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	base, err := sstable.NewReader(f, meta.Size, meta.Num, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	off, n, err := base.DataWindow(startIK, endIK)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	data := make([]byte, n)
+	if _, err := f.ReadAt(data, off); err != nil && err != io.EOF {
+		return nil, 0, fmt.Errorf("engine: bulk read window %d: %w", meta.Num, err)
+	}
+	// The returned reader serves every data-block read from the window;
+	// the real file is closed before the merge starts, so a bounds
+	// mistake surfaces as an EOF read error, never a device read.
+	return base.WithFile(preloaded{data: data, base: off}), n, nil
+}
+
 // preloaded adapts an in-memory byte slice to vfs.File for readers
-// over bulk-fetched file images.
-type preloaded struct{ data []byte }
+// over bulk-fetched file images. base is the file offset the slice
+// starts at (non-zero for windowed sub-compaction reads).
+type preloaded struct {
+	data []byte
+	base int64
+}
 
 func (p preloaded) ReadAt(b []byte, off int64) (int, error) {
+	off -= p.base
 	if off < 0 || off > int64(len(p.data)) {
 		return 0, io.EOF
 	}

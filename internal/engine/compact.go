@@ -2,16 +2,13 @@ package engine
 
 import (
 	"bytes"
-	"fmt"
 
-	"xpointdb/internal/iterator"
 	"xpointdb/internal/keys"
 	"xpointdb/internal/manifest"
-	"xpointdb/internal/sstable"
-	"xpointdb/internal/vfs"
 )
 
-// compaction describes one picked compaction.
+// compaction describes one picked compaction: the policy's output
+// (picker.go), executed by the job runner (compactionjob.go).
 type compaction struct {
 	level       int // input level
 	outputLevel int
@@ -28,73 +25,24 @@ type compaction struct {
 	// while the corruption latch is set: its version edit commits with
 	// the fail-fast bypass.
 	recovery bool
+
+	// trivialMove marks a job with nothing to merge: the inputs are
+	// relocated to the output level by a pure manifest edit, no I/O.
+	trivialMove bool
+	// subs are the disjoint key sub-ranges the merge splits into
+	// (always at least one when trivialMove is false).
+	subs []subrange
 }
 
 // targetLevelBytes returns the size target for a level ≥ 1.
 func (db *DB) targetLevelBytes(level int) int64 {
-	t := db.opts.BaseLevelBytes
-	for l := 1; l < level; l++ {
-		t *= int64(db.opts.LevelMultiplier)
-	}
-	return t
+	return levelTargetBytes(&db.opts, level)
 }
 
-// pickCompactionLocked selects the most urgent compaction, or nil.
-// Called with db.mu held.
+// pickCompactionLocked asks the picker for the most urgent compaction,
+// or nil. Called with db.mu held.
 func (db *DB) pickCompactionLocked() *compaction {
-	v := db.vs.Current()
-
-	// Level-0: file-count triggered (the paper's central pressure
-	// source — L0 files accumulate per flush and are merged into L1).
-	if v.NumFiles(0) >= db.opts.L0CompactionTrigger {
-		inputs := append([]*manifest.FileMeta(nil), v.Files[0]...)
-		smallest, largest := keyRangeOf(inputs)
-		c := &compaction{
-			level:       0,
-			outputLevel: 1,
-			score:       float64(v.NumFiles(0)) / float64(db.opts.L0CompactionTrigger),
-			inputs:      inputs,
-			overlaps:    v.Overlaps(1, smallest, largest),
-			base:        v,
-			snaps:       db.liveSnapshotSeqs(),
-		}
-		// Pin the base version for the whole run: a concurrent flush
-		// install may drop the current version, and with it the last
-		// reference to the input files, while the merge is reading them.
-		c.base.Ref()
-		return c
-	}
-
-	// Deeper levels: size triggered, worst score first.
-	bestLevel, bestScore := -1, 1.0
-	for l := 1; l < manifest.NumLevels-1; l++ {
-		if v.NumFiles(l) == 0 {
-			continue
-		}
-		score := float64(v.LevelBytes(l)) / float64(db.targetLevelBytes(l))
-		if score > bestScore {
-			bestScore, bestLevel = score, l
-		}
-	}
-	if bestLevel < 0 {
-		return nil
-	}
-	files := v.Files[bestLevel]
-	idx := db.compactCursor[bestLevel] % len(files)
-	db.compactCursor[bestLevel]++
-	in := files[idx]
-	smallest, largest := keyRangeOf([]*manifest.FileMeta{in})
-	c := &compaction{
-		level:       bestLevel,
-		outputLevel: bestLevel + 1,
-		score:       bestScore,
-		inputs:      []*manifest.FileMeta{in},
-		overlaps:    v.Overlaps(bestLevel+1, smallest, largest),
-		base:        v,
-		snaps:       db.liveSnapshotSeqs(),
-	}
-	c.base.Ref() // see the L0 pick above
-	return c
+	return db.picker.pick(db.vs.Current(), db.liveSnapshotSeqs())
 }
 
 func keyRangeOf(files []*manifest.FileMeta) (smallest, largest []byte) {
@@ -110,8 +58,11 @@ func keyRangeOf(files []*manifest.FileMeta) (smallest, largest []byte) {
 	return smallest, largest
 }
 
-// compactWorker is the background compaction process (RocksDB's
-// low-priority pool, concurrency 1 in this reproduction).
+// compactWorker is the background compaction scheduler loop: pick by
+// policy, price the job by stall risk for the shared pool, reserve
+// space, then hand the picked compaction to the job runner. A single
+// worker per shard admits one job at a time; the job itself may fan
+// out into sub-compactions with extra pool tokens.
 func (db *DB) compactWorker() {
 	db.mu.Lock()
 	for {
@@ -143,9 +94,9 @@ func (db *DB) compactWorker() {
 			// above proves work exists and prices the priority, but it
 			// can go stale while we wait for a token — drop it and
 			// re-pick once the token is held.
-			prio := db.compactPriorityLocked()
+			prio := db.compactPriorityLocked(c.score)
 			db.mu.Unlock()
-			db.opts.BGPool.Acquire(prio)
+			db.opts.BGPool.AcquireTag(prio, db.opts.StallSource)
 			db.mu.Lock()
 			c.base.Unref()
 			c = nil
@@ -168,12 +119,13 @@ func (db *DB) compactWorker() {
 			}
 		}
 		var reservedSpace int64
-		if db.space != nil {
+		if db.space != nil && !c.trivialMove {
 			// Reserve headroom for the projected output (bounded by the
 			// input bytes; obsolete inputs are only freed after install).
 			// Over budget the job defers, never fails. TryReserve runs
 			// without db.mu — a ladder change notifies back into it — so
 			// the world must be re-checked before committing to the pick.
+			// A trivial move writes no bytes and skips the reservation.
 			for _, f := range c.inputs {
 				reservedSpace += f.Size
 			}
@@ -185,12 +137,14 @@ func (db *DB) compactWorker() {
 			db.mu.Lock()
 			stale := db.closed || db.bgErr != nil || db.compacting
 			if !ok || stale {
+				deferred := c
 				c.base.Unref()
 				db.mu.Unlock()
 				if ok {
 					db.space.Release(reservedSpace)
 				} else {
 					db.metrics.SpaceDeferrals.Add(1)
+					db.emitCompactionDeferred(deferred, reservedSpace)
 					db.opts.logf("compaction deferred: %d B projected output over space budget", reservedSpace)
 				}
 				db.releaseBGToken()
@@ -204,27 +158,12 @@ func (db *DB) compactWorker() {
 		db.compacting = true
 		db.mu.Unlock()
 
-		var inputBytes, upperBytes int64
-		for _, f := range c.inputs {
-			upperBytes += f.Size
-		}
-		inputBytes = upperBytes
-		for _, f := range c.overlaps {
-			inputBytes += f.Size
-		}
-		db.emitCompactionBegin(c, inputBytes)
-		compStart := db.clk.Now()
-
-		stats, err := db.runCompaction(c)
+		err := db.executePickedCompaction(c)
 		if reservedSpace > 0 {
 			// Outputs are tracked as used bytes now (or were removed);
 			// the reservation would double-count them.
 			db.space.Release(reservedSpace)
 		}
-		compDur := db.clk.Now().Sub(compStart)
-		db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
-			stats.entries, compDur, err)
-		c.base.Unref()
 
 		if err != nil {
 			// A checksum failure in a live input is not retryable in
@@ -258,10 +197,6 @@ func (db *DB) compactWorker() {
 			db.mu.Lock()
 		} else {
 			db.clearSoftErrorLocked(opCompaction)
-			db.metrics.Compactions.Add(1)
-			db.metrics.CompactionLatency.Record(compDur)
-			db.metrics.Levels[c.outputLevel].recordCompaction(
-				upperBytes, stats.read, stats.written, compDur)
 			db.bgCond.Broadcast()
 		}
 		db.mu.Unlock()
@@ -285,205 +220,38 @@ func (db *DB) compactWorker() {
 	db.mu.Unlock()
 }
 
-// compactionStats summarizes one compaction run for events and
-// metrics; partial values are reported when the run fails mid-way.
-type compactionStats struct {
-	read    int64
-	written int64
-	outputs int
-	entries int64
-}
-
-// runCompaction merges c's inputs into new files at c.outputLevel and
-// commits the edit. Called without db.mu.
-func (db *DB) runCompaction(c *compaction) (stats compactionStats, err error) {
-	all := make([]*manifest.FileMeta, 0, len(c.inputs)+len(c.overlaps))
-	all = append(all, c.inputs...)
-	all = append(all, c.overlaps...)
-
-	// Inputs are read with one sequential bulk read per file
-	// (compaction readahead): the device is charged a streaming
-	// transfer instead of a random 4 KiB read per block, matching
-	// how real compactions read.
-	var readBytes int64
-	iters := make([]iterator.Iterator, 0, len(all))
-	for _, f := range all {
-		r, err := db.openCompactionInput(f)
-		if err != nil {
-			return stats, err
-		}
-		iters = append(iters, r.NewIter())
-		readBytes += f.Size
-	}
-	stats.read = readBytes
-	merged := iterator.NewMerging(iters...)
-	defer merged.Close()
-
-	var outNums []uint64
-
-	var (
-		outputs     []*manifest.FileMeta
-		builder     *sstable.Builder
-		builderFile vfs.File
-		curNum      uint64
-		entries     int
-		lastUserKey []byte
-		haveLast    bool
-		writtenByte int64
-	)
-
-	// Outputs never installed in a version have no reference protecting
-	// them — on failure they are removed here, unless a manifest-install
-	// error is latched (the durable manifest may already name them; see
-	// canDeleteFailedOutputLocked).
-	defer func() {
-		if err == nil {
-			return
-		}
-		if builder != nil {
-			_ = builderFile.Close()
-		}
-		db.mu.Lock()
-		del := db.canDeleteFailedOutputLocked()
-		db.mu.Unlock()
-		if !del {
-			return
-		}
-		for _, n := range outNums {
-			_ = db.spaceRemove(db.fs, manifest.SSTName(n))
-		}
-	}()
-
-	finishOutput := func() error {
-		if builder == nil {
-			return nil
-		}
-		size, ferr := builder.Finish()
-		if ferr != nil {
-			return ferr
-		}
-		if err := builderFile.Sync(); err != nil {
-			return err
-		}
-		if db.opts.ParanoidFileChecks {
-			if err := db.paranoidVerify(builderFile, size, curNum, builder.Checksum()); err != nil {
-				return err
-			}
-		}
-		if err := builderFile.Close(); err != nil {
-			return err
-		}
-		db.spaceTrack(manifest.SSTName(curNum), size)
-		outputs = append(outputs, &manifest.FileMeta{
-			Num:      curNum,
-			Size:     size,
-			Smallest: builder.Smallest(),
-			Largest:  builder.Largest(),
-			Checksum: builder.Checksum(),
-		})
-		writtenByte += size
-		builder = nil
-		return nil
-	}
-
-	// prevStripe is the snapshot stripe of the newest retained (or
-	// elided-tombstone) version of lastUserKey; -1 when no version of
-	// the current key has been seen yet.
-	prevStripe := -1
-	for merged.SeekToFirst(); merged.Valid(); merged.Next() {
-		ikey := merged.Key()
-		userKey := keys.UserKey(ikey)
-		entries++
-		if db.cost != nil && entries%compactChargeBatch == 0 {
-			db.cost.ChargeCompactEntries(db.clk, compactChargeBatch)
-		}
-
-		if !haveLast || !bytes.Equal(userKey, lastUserKey) {
-			// Output files may only be cut at user-key boundaries:
-			// L1+ files must be disjoint in user-key space, and
-			// snapshots can retain several versions of one key, so
-			// cutting on size alone could strand versions of the
-			// same key in adjacent files — an invalid version edit.
-			if builder != nil && builder.EstimatedSize() >= db.opts.TargetFileSize {
-				if err := finishOutput(); err != nil {
-					return stats, err
-				}
-			}
-			lastUserKey = append(lastUserKey[:0], userKey...)
-			haveLast = true
-			prevStripe = -1
-		}
-
-		// Keep the newest version of the key within each snapshot
-		// stripe; versions shadowed by a newer one in the same
-		// stripe are invisible to every snapshot and can go.
-		seq, kind := keys.Trailer(ikey)
-		stripe := stripeOf(c.snaps, seq)
-		if stripe == prevStripe {
-			continue
-		}
-		prevStripe = stripe
-
-		if kind == keys.KindDelete && stripe == 0 && db.isBaseLevel(c, userKey) {
-			// Tombstone in the lowest stripe with nothing
-			// underneath: elide. It still counts as the stripe's
-			// retained version (older same-stripe versions stay
-			// dropped), which preserves its delete semantics.
-			continue
-		}
-
-		if builder == nil {
-			db.mu.Lock()
-			curNum = db.vs.AllocFileNum()
-			db.mu.Unlock()
-			outNums = append(outNums, curNum)
-			f, cerr := db.fs.Create(manifest.SSTName(curNum))
-			if cerr != nil {
-				return stats, fmt.Errorf("engine: create compaction output: %w", cerr)
-			}
-			builderFile = f
-			builder = sstable.NewBuilder(f, sstable.BuilderOptions{
-				BlockSize:       db.opts.BlockSize,
-				BloomBitsPerKey: db.opts.BloomBitsPerKey,
-				Compression:     db.opts.Compression,
-			})
-		}
-		if err := builder.Add(ikey, merged.Value()); err != nil {
-			return stats, err
-		}
-	}
-	if err := merged.Error(); err != nil {
-		return stats, err
-	}
-	if err := finishOutput(); err != nil {
-		return stats, err
-	}
-	if db.cost != nil {
-		db.cost.ChargeCompactEntries(db.clk, entries%compactChargeBatch)
-	}
-
-	edit := &manifest.Edit{}
+// executePickedCompaction runs a picked compaction on the caller's
+// goroutine — events, timing, the job itself, success metrics, cursor
+// advance, and the base unref. The caller must have set db.compacting
+// and must not hold db.mu. Shared by the background worker, manual
+// CompactRange, and the repair path.
+func (db *DB) executePickedCompaction(c *compaction) error {
+	var inputBytes, upperBytes int64
 	for _, f := range c.inputs {
-		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.level, Num: f.Num})
+		upperBytes += f.Size
 	}
+	inputBytes = upperBytes
 	for _, f := range c.overlaps {
-		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.outputLevel, Num: f.Num})
+		inputBytes += f.Size
 	}
-	for _, f := range outputs {
-		edit.Added = append(edit.Added, manifest.AddedFile{Level: c.outputLevel, Meta: f})
+	db.emitCompactionBegin(c, inputBytes)
+	compStart := db.clk.Now()
+
+	stats, err := db.runCompactionJob(c)
+	compDur := db.clk.Now().Sub(compStart)
+	db.emitCompactionEnd(c, stats, compDur, err)
+	c.base.Unref()
+
+	if err == nil {
+		db.metrics.Compactions.Add(1)
+		db.metrics.CompactionLatency.Record(compDur)
+		db.metrics.Levels[c.outputLevel].recordCompaction(
+			upperBytes, stats.read, stats.written, compDur)
+		db.mu.Lock()
+		db.picker.noteCompacted(c)
+		db.mu.Unlock()
 	}
-	stats.written = writtenByte
-	stats.outputs = len(outputs)
-	stats.entries = int64(entries)
-	if err := db.commitEditWith(edit, c.recovery); err != nil {
-		return stats, err
-	}
-	db.metrics.CompactionBytesRead.Add(readBytes)
-	db.metrics.CompactionBytesWritten.Add(writtenByte)
-	db.metrics.CompactionEntriesMerged.Add(int64(entries))
-	db.opts.logf("compacted L%d→L%d: %d in (%d B), %d out (%d B)",
-		c.level, c.outputLevel, len(all), readBytes, len(outputs), writtenByte)
-	return stats, nil
+	return err
 }
 
 // isBaseLevel reports whether no level deeper than the compaction's

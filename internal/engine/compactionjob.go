@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+
+	"xpointdb/internal/iterator"
+	"xpointdb/internal/keys"
+	"xpointdb/internal/manifest"
+	"xpointdb/internal/sstable"
+	"xpointdb/internal/vfs"
+)
+
+// compactionStats summarizes one compaction job for events and
+// metrics; partial values are reported when the job fails mid-way.
+type compactionStats struct {
+	read    int64
+	written int64
+	outputs int
+	entries int64
+	// subs is how many sub-compactions the job ran (0 for a trivial
+	// move, 1 for an unsplit merge).
+	subs int
+}
+
+// subResult collects one sub-compaction's products for the job-level
+// rollup and the all-or-nothing install.
+type subResult struct {
+	outputs []*manifest.FileMeta
+	outNums []uint64
+	read    int64
+	written int64
+	entries int64
+	err     error
+}
+
+// runCompactionJob is the compaction MECHANISM: execute a picked
+// compaction — as a pure manifest edit for a trivial move, otherwise
+// as up to MaxSubcompactions concurrent bounded merge loops — and
+// install ONE atomic version edit for the whole job, so a crash at any
+// point leaves either the old version or the new one, never a mix.
+// Called without db.mu; the caller holds db.compacting.
+func (db *DB) runCompactionJob(c *compaction) (stats compactionStats, err error) {
+	if c.trivialMove {
+		return db.runTrivialMove(c)
+	}
+	subs := c.subs
+	if len(subs) == 0 {
+		all := make([]*manifest.FileMeta, 0, len(c.inputs)+len(c.overlaps))
+		all = append(all, c.inputs...)
+		all = append(all, c.overlaps...)
+		subs = []subrange{{inputs: all}}
+	}
+	stats.subs = len(subs)
+
+	// Extra lanes come from the shared pool non-blockingly: idle slots
+	// speed the job up, but a queued flush (strictly higher priority)
+	// keeps its claim on every free token. Without a pool the job owns
+	// the machine's parallelism question alone and fans out fully.
+	lanes := 1
+	if len(subs) > 1 {
+		lanes = len(subs)
+		if db.opts.BGPool != nil {
+			db.mu.Lock()
+			prio := db.compactPriorityLocked(c.score)
+			db.mu.Unlock()
+			extra := db.opts.BGPool.TryAcquireN(prio, len(subs)-1, db.opts.StallSource)
+			if extra > 0 {
+				defer db.opts.BGPool.ReleaseN(extra)
+			}
+			lanes = 1 + extra
+		}
+	}
+
+	results := make([]subResult, len(subs))
+	if lanes == 1 {
+		for i := range subs {
+			db.runSubcompaction(c, subs[i], &results[i])
+			if results[i].err != nil {
+				break // later subs never ran; nothing of theirs to clean
+			}
+		}
+	} else {
+		// The caller's goroutine is one lane; the rest are spawned via
+		// the engine clock so the fan-out works under the sim kernel.
+		// Lanes dispense sub-range indices from a shared counter and
+		// stop claiming new ones after the first failure (in-flight
+		// subs finish; their outputs are cleaned up below).
+		m := db.clk.NewMutex()
+		done := db.clk.NewCond(m)
+		next, running, failed := 0, lanes, false
+		lane := func() {
+			m.Lock()
+			for !failed && next < len(subs) {
+				i := next
+				next++
+				m.Unlock()
+				db.runSubcompaction(c, subs[i], &results[i])
+				m.Lock()
+				if results[i].err != nil {
+					failed = true
+				}
+			}
+			running--
+			if running == 0 {
+				done.Broadcast()
+			}
+			m.Unlock()
+		}
+		for i := 1; i < lanes; i++ {
+			db.clk.Go("subcompact", lane)
+		}
+		lane()
+		m.Lock()
+		for running > 0 {
+			done.Wait()
+		}
+		m.Unlock()
+	}
+
+	var outNums []uint64
+	var firstErr error
+	for i := range results {
+		r := &results[i]
+		stats.read += r.read
+		stats.written += r.written
+		stats.outputs += len(r.outputs)
+		stats.entries += r.entries
+		outNums = append(outNums, r.outNums...)
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if len(subs) > 1 {
+		db.metrics.Subcompactions.Add(int64(len(subs)))
+	}
+
+	// Outputs never installed in a version have no reference protecting
+	// them — on failure they are removed here, unless a manifest-install
+	// error is latched (the durable manifest may already name them; see
+	// canDeleteFailedOutputLocked).
+	cleanup := func() {
+		db.mu.Lock()
+		del := db.canDeleteFailedOutputLocked()
+		db.mu.Unlock()
+		if !del {
+			return
+		}
+		for _, n := range outNums {
+			_ = db.spaceRemove(db.fs, manifest.SSTName(n))
+		}
+	}
+	if firstErr != nil {
+		cleanup()
+		return stats, firstErr
+	}
+
+	// One edit for the whole job: every input (and shadowed
+	// output-level file) out, every sub-compaction's outputs in.
+	// Sub-ranges are disjoint in user-key space and results are rolled
+	// up in range order, so the output-level invariants hold.
+	edit := &manifest.Edit{}
+	for _, f := range c.inputs {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.level, Num: f.Num})
+	}
+	for _, f := range c.overlaps {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.outputLevel, Num: f.Num})
+	}
+	for i := range results {
+		for _, f := range results[i].outputs {
+			edit.Added = append(edit.Added, manifest.AddedFile{Level: c.outputLevel, Meta: f})
+		}
+	}
+	if err := db.commitEditWith(edit, c.recovery); err != nil {
+		cleanup()
+		return stats, err
+	}
+	db.metrics.CompactionBytesRead.Add(stats.read)
+	db.metrics.CompactionBytesWritten.Add(stats.written)
+	db.metrics.CompactionEntriesMerged.Add(stats.entries)
+	db.opts.logf("compacted L%d→L%d: %d in (%d B), %d out (%d B), %d sub(s)",
+		c.level, c.outputLevel, len(c.inputs)+len(c.overlaps), stats.read,
+		stats.outputs, stats.written, len(subs))
+	return stats, nil
+}
+
+// runTrivialMove relocates c's inputs to the output level with a pure
+// manifest edit: same FileMeta (same refcount identity, same on-disk
+// bytes), zero data I/O. Correct because nothing at the output level
+// overlaps the inputs — no keys to merge, no versions to collapse —
+// and dropping tombstones or shadowed versions is an optimization a
+// later rewrite still gets to make.
+func (db *DB) runTrivialMove(c *compaction) (stats compactionStats, err error) {
+	edit := &manifest.Edit{}
+	var moved int64
+	for _, f := range c.inputs {
+		edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: c.level, Num: f.Num})
+		edit.Added = append(edit.Added, manifest.AddedFile{Level: c.outputLevel, Meta: f})
+		moved += f.Size
+	}
+	if err := db.commitEditWith(edit, c.recovery); err != nil {
+		return stats, err
+	}
+	stats.outputs = len(c.inputs)
+	db.metrics.TrivialMoves.Add(int64(len(c.inputs)))
+	db.opts.logf("moved L%d→L%d: %d file(s), %d B (trivial, no I/O)",
+		c.level, c.outputLevel, len(c.inputs), moved)
+	return stats, nil
+}
+
+// runSubcompaction merges one sub-range of the job's inputs into new
+// files at c.outputLevel, writing products into res. It is the
+// pre-split merge loop bounded to user keys in [sub.start, sub.end):
+// inputs are bulk-read (only the byte window the bounds can touch),
+// outputs cut at user-key boundaries, snapshot stripes and tombstone
+// elision per key. It installs nothing — the job-level edit does.
+// Safe to run concurrently with other sub-compactions: shared state is
+// touched only under db.mu (file-number allocation) or via atomics.
+func (db *DB) runSubcompaction(c *compaction, sub subrange, res *subResult) {
+	var startIK, endIK []byte
+	if sub.start != nil {
+		startIK = keys.SearchKey(sub.start, keys.MaxSeq)
+	}
+	if sub.end != nil {
+		endIK = keys.SearchKey(sub.end, keys.MaxSeq)
+	}
+
+	// Inputs are read with one sequential bulk read per file
+	// (compaction readahead): the device is charged a streaming
+	// transfer instead of a random 4 KiB read per block, matching
+	// how real compactions read. Bounded sub-ranges fetch only the
+	// data-block window their bounds can touch.
+	iters := make([]iterator.Iterator, 0, len(sub.inputs))
+	for _, f := range sub.inputs {
+		var (
+			r    *sstable.Reader
+			n    int64
+			oerr error
+		)
+		if startIK == nil && endIK == nil {
+			r, oerr = db.openCompactionInput(f)
+			n = f.Size
+		} else {
+			r, n, oerr = db.openCompactionInputWindow(f, startIK, endIK)
+		}
+		if oerr != nil {
+			res.err = oerr
+			return
+		}
+		if r == nil {
+			continue // no block of f intersects the range
+		}
+		db.pacer.Wait(db.clk, n)
+		res.read += n
+		iters = append(iters, r.NewIter())
+	}
+	if len(iters) == 0 {
+		return
+	}
+	merged := iterator.NewMerging(iters...)
+	defer merged.Close()
+
+	var (
+		builder     *sstable.Builder
+		builderFile vfs.File
+		curNum      uint64
+		entries     int
+		lastUserKey []byte
+		haveLast    bool
+	)
+	defer func() {
+		if res.err != nil && builder != nil {
+			_ = builderFile.Close()
+		}
+	}()
+
+	finishOutput := func() error {
+		if builder == nil {
+			return nil
+		}
+		size, ferr := builder.Finish()
+		if ferr != nil {
+			return ferr
+		}
+		if err := builderFile.Sync(); err != nil {
+			return err
+		}
+		if db.opts.ParanoidFileChecks {
+			if err := db.paranoidVerify(builderFile, size, curNum, builder.Checksum()); err != nil {
+				return err
+			}
+		}
+		if err := builderFile.Close(); err != nil {
+			return err
+		}
+		db.spaceTrack(manifest.SSTName(curNum), size)
+		db.pacer.Wait(db.clk, size)
+		res.outputs = append(res.outputs, &manifest.FileMeta{
+			Num:      curNum,
+			Size:     size,
+			Smallest: builder.Smallest(),
+			Largest:  builder.Largest(),
+			Checksum: builder.Checksum(),
+		})
+		res.written += size
+		builder = nil
+		return nil
+	}
+
+	// prevStripe is the snapshot stripe of the newest retained (or
+	// elided-tombstone) version of lastUserKey; -1 when no version of
+	// the current key has been seen yet.
+	prevStripe := -1
+	if startIK != nil {
+		merged.SeekGE(startIK)
+	} else {
+		merged.SeekToFirst()
+	}
+	for ; merged.Valid(); merged.Next() {
+		ikey := merged.Key()
+		userKey := keys.UserKey(ikey)
+		if sub.end != nil && keys.CompareUserKeys(userKey, sub.end) >= 0 {
+			break // the rest of the key space belongs to the next sub
+		}
+		entries++
+		if db.cost != nil && entries%compactChargeBatch == 0 {
+			db.cost.ChargeCompactEntries(db.clk, compactChargeBatch)
+		}
+
+		if !haveLast || !bytes.Equal(userKey, lastUserKey) {
+			// Output files may only be cut at user-key boundaries:
+			// L1+ files must be disjoint in user-key space, and
+			// snapshots can retain several versions of one key, so
+			// cutting on size alone could strand versions of the
+			// same key in adjacent files — an invalid version edit.
+			if builder != nil && builder.EstimatedSize() >= db.opts.TargetFileSize {
+				if err := finishOutput(); err != nil {
+					res.err = err
+					return
+				}
+			}
+			lastUserKey = append(lastUserKey[:0], userKey...)
+			haveLast = true
+			prevStripe = -1
+		}
+
+		// Keep the newest version of the key within each snapshot
+		// stripe; versions shadowed by a newer one in the same
+		// stripe are invisible to every snapshot and can go.
+		seq, kind := keys.Trailer(ikey)
+		stripe := stripeOf(c.snaps, seq)
+		if stripe == prevStripe {
+			continue
+		}
+		prevStripe = stripe
+
+		if kind == keys.KindDelete && stripe == 0 && db.isBaseLevel(c, userKey) {
+			// Tombstone in the lowest stripe with nothing
+			// underneath: elide. It still counts as the stripe's
+			// retained version (older same-stripe versions stay
+			// dropped), which preserves its delete semantics.
+			continue
+		}
+
+		if builder == nil {
+			db.mu.Lock()
+			curNum = db.vs.AllocFileNum()
+			db.mu.Unlock()
+			res.outNums = append(res.outNums, curNum)
+			f, cerr := db.fs.Create(manifest.SSTName(curNum))
+			if cerr != nil {
+				res.err = fmt.Errorf("engine: create compaction output: %w", cerr)
+				return
+			}
+			builderFile = f
+			builder = sstable.NewBuilder(f, sstable.BuilderOptions{
+				BlockSize:       db.opts.BlockSize,
+				BloomBitsPerKey: db.opts.BloomBitsPerKey,
+				Compression:     db.opts.Compression,
+			})
+		}
+		if err := builder.Add(ikey, merged.Value()); err != nil {
+			res.err = err
+			return
+		}
+	}
+	if err := merged.Error(); err != nil {
+		res.err = err
+		return
+	}
+	if err := finishOutput(); err != nil {
+		res.err = err
+		return
+	}
+	if db.cost != nil {
+		db.cost.ChargeCompactEntries(db.clk, entries%compactChargeBatch)
+	}
+	res.entries = int64(entries)
+}

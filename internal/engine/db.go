@@ -136,10 +136,15 @@ type DB struct {
 	lastSeq    uint64 // newest assigned sequence number (under mu)
 	visibleSeq atomic.Uint64
 
-	flushing      bool
-	compacting    bool
-	compactCursor [manifest.NumLevels]int
-	stallState    throttle.State
+	flushing   bool
+	compacting bool
+	// picker is the compaction policy (picker.go): pick shape and
+	// cursor state live there; the engine owns only the mechanism.
+	picker *compactionPicker
+	// pacer rate-limits compaction I/O against foreground traffic;
+	// nil = unlimited. Shared across shards when injected via options.
+	pacer      *costmodel.Pacer
+	stallState throttle.State
 	// spaceState is the space-budget degradation-ladder state (space.go),
 	// max-merged with the L0 state in updateStallStateLocked. Updated by
 	// the SpaceManager subscription under db.mu. spaceStopEpoch counts
@@ -239,6 +244,14 @@ func Open(opts Options) (*DB, error) {
 		db.space = opts.SpaceManager
 	} else if opts.MaxAllowedSpace > 0 {
 		db.space = NewSpaceManager(opts.MaxAllowedSpace, opts.FreeSpaceThreshold)
+	}
+	db.picker = newCompactionPicker(&db.opts)
+	if opts.CompactionPacer != nil {
+		// Shared, externally owned: one compaction I/O budget across
+		// every sharer.
+		db.pacer = opts.CompactionPacer
+	} else {
+		db.pacer = costmodel.NewPacer(opts.CompactionRateBytesPerSec)
 	}
 	db.mu = clk.NewMutex()
 	db.bgCond = clk.NewCond(db.mu)

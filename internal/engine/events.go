@@ -63,26 +63,49 @@ func (db *DB) emitCompactionBegin(c *compaction, inputBytes int64) {
 	})
 }
 
-func (db *DB) emitCompactionEnd(c *compaction, read, written int64, outputs int, entries int64, d time.Duration, err error) {
+func (db *DB) emitCompactionEnd(c *compaction, stats compactionStats, d time.Duration, err error) {
 	if db.ev == nil {
 		return
 	}
 	ce := &events.Compaction{
-		Level:        c.level,
-		OutputLevel:  c.outputLevel,
-		Score:        c.score,
-		InputFiles:   len(c.inputs),
-		OverlapFiles: len(c.overlaps),
-		OutputFiles:  outputs,
-		BytesRead:    read,
-		BytesWritten: written,
-		Entries:      entries,
-		DurationUS:   d.Microseconds(),
+		Level:          c.level,
+		OutputLevel:    c.outputLevel,
+		Score:          c.score,
+		InputFiles:     len(c.inputs),
+		OverlapFiles:   len(c.overlaps),
+		OutputFiles:    stats.outputs,
+		BytesRead:      stats.read,
+		BytesWritten:   stats.written,
+		Entries:        stats.entries,
+		Subcompactions: stats.subs,
+		TrivialMove:    c.trivialMove,
+		DurationUS:     d.Microseconds(),
 	}
 	if err != nil {
 		ce.Error = err.Error()
 	}
 	db.ev.Emit(events.Event{TS: db.clk.Now(), Kind: events.KindCompactionEnd, Compaction: ce})
+}
+
+// emitCompactionDeferred records a compaction the space budget deferred
+// (the job retries once reclamation or a budget raise frees headroom).
+// projected is the reserved-headroom estimate that did not fit.
+func (db *DB) emitCompactionDeferred(c *compaction, projected int64) {
+	if db.ev == nil {
+		return
+	}
+	db.ev.Emit(events.Event{
+		TS:   db.clk.Now(),
+		Kind: events.KindCompactionDeferred,
+		Compaction: &events.Compaction{
+			Level:        c.level,
+			OutputLevel:  c.outputLevel,
+			Score:        c.score,
+			InputFiles:   len(c.inputs),
+			OverlapFiles: len(c.overlaps),
+			BytesRead:    projected,
+		},
+	})
 }
 
 // emitStallChangeLocked records a stall-condition transition with its

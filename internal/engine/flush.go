@@ -60,7 +60,7 @@ func (db *DB) flushWorker() {
 			// drained by error recovery, or the DB closed.
 			prio := db.flushPriorityLocked()
 			db.mu.Unlock()
-			db.opts.BGPool.Acquire(prio)
+			db.opts.BGPool.AcquireTag(prio, db.opts.StallSource)
 			db.mu.Lock()
 			if db.closed || len(db.imms) == 0 || db.bgErr != nil {
 				db.opts.BGPool.Release()
@@ -197,11 +197,19 @@ func (db *DB) flushPriorityLocked() float64 {
 
 // compactPriorityLocked scores a pending compaction for the shared
 // pool by stall risk: L0 pressure relative to this shard's slowdown
-// trigger dominates, so the pool drains the shard closest to stalling
-// first. Caller holds db.mu.
-func (db *DB) compactPriorityLocked() float64 {
+// trigger dominates — the pool drains the shard closest to stalling
+// first — and the picked job's own score breaks ties between shards at
+// equal L0 pressure (a deeply over-target level beats routine
+// leveling). The score term stays ≪ one L0 file's worth of pressure,
+// so it can order jobs but never outrank real stall risk. Caller holds
+// db.mu.
+func (db *DB) compactPriorityLocked(score float64) float64 {
 	l0 := db.vs.Current().NumFiles(0)
-	return float64(l0) / float64(db.opts.L0SlowdownTrigger) * 100
+	tie := score
+	if tie > 4 {
+		tie = 4
+	}
+	return float64(l0)/float64(db.opts.L0SlowdownTrigger)*100 + tie
 }
 
 // releaseBGToken returns the shared-pool token, if pools are in use.

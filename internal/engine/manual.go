@@ -29,7 +29,9 @@ func (db *DB) CompactRange(start, end []byte) error {
 // compactLevelRange merges the files of one level overlapping the
 // range into the next level, reusing the background worker's machinery
 // but running on the caller's goroutine. It serializes with the
-// background compactor via the compacting flag.
+// background compactor via the compacting flag. The pick goes through
+// the picker like every other compaction, so manual jobs get trivial
+// moves and sub-compaction splitting too.
 func (db *DB) compactLevelRange(level int, start, end []byte) error {
 	db.mu.Lock()
 	for db.compacting && !db.closed {
@@ -39,52 +41,21 @@ func (db *DB) compactLevelRange(level int, start, end []byte) error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	v := db.vs.Current()
-	inputs := v.Overlaps(level, start, end)
-	if len(inputs) == 0 {
+	c := db.picker.pickRange(db.vs.Current(), level, start, end, db.liveSnapshotSeqs())
+	if c == nil {
 		db.mu.Unlock()
 		return nil
 	}
-	smallest, largest := keyRangeOf(inputs)
-	c := &compaction{
-		level:       level,
-		outputLevel: level + 1,
-		inputs:      inputs,
-		overlaps:    v.Overlaps(level+1, smallest, largest),
-		base:        v,
-		snaps:       db.liveSnapshotSeqs(),
-	}
-	// Pin the inputs for the run (see pickCompactionLocked).
-	c.base.Ref()
 	db.compacting = true
 	db.mu.Unlock()
 
-	var inputBytes, upperBytes int64
-	for _, f := range c.inputs {
-		upperBytes += f.Size
-	}
-	inputBytes = upperBytes
-	for _, f := range c.overlaps {
-		inputBytes += f.Size
-	}
-	db.emitCompactionBegin(c, inputBytes)
-	compStart := db.clk.Now()
-
-	stats, err := db.runCompaction(c)
-	compDur := db.clk.Now().Sub(compStart)
-	db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
-		stats.entries, compDur, err)
-	c.base.Unref()
+	err := db.executePickedCompaction(c)
 
 	db.mu.Lock()
 	db.compacting = false
 	db.bgCond.Broadcast()
 	db.mu.Unlock()
 	if err == nil {
-		db.metrics.Compactions.Add(1)
-		db.metrics.CompactionLatency.Record(compDur)
-		db.metrics.Levels[c.outputLevel].recordCompaction(
-			upperBytes, stats.read, stats.written, compDur)
 		db.deleteObsoleteFiles()
 	}
 	return err

@@ -43,6 +43,12 @@ type Metrics struct {
 	CompactionBytesRead     atomic.Int64
 	CompactionBytesWritten  atomic.Int64
 	CompactionEntriesMerged atomic.Int64
+	// TrivialMoves counts files relocated to their output level by a
+	// pure manifest edit — zero data read or written.
+	TrivialMoves atomic.Int64
+	// Subcompactions counts key-range sub-compaction merge loops run by
+	// split jobs (jobs that did not split are not counted here).
+	Subcompactions atomic.Int64
 
 	// SuperVersion lifecycle. SuperVersionInstalls counts read-path
 	// bundle swaps (rotation, flush, version-edit, recovery, open).

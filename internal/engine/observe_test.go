@@ -170,8 +170,13 @@ func TestEventStreamBurst(t *testing.T) {
 				t.Errorf("flush end missing output: %+v", e.Flush)
 			}
 		case events.KindCompactionEnd:
-			if e.Compaction.Error == "" && e.Compaction.BytesWritten <= 0 {
+			// A trivial move re-links its inputs with zero data I/O;
+			// only a merging compaction must report written bytes.
+			if e.Compaction.Error == "" && !e.Compaction.TrivialMove && e.Compaction.BytesWritten <= 0 {
 				t.Errorf("compaction end wrote nothing: %+v", e.Compaction)
+			}
+			if e.Compaction.TrivialMove && (e.Compaction.BytesRead != 0 || e.Compaction.BytesWritten != 0) {
+				t.Errorf("trivial move did data I/O: %+v", e.Compaction)
 			}
 			if e.Compaction.Score <= 0 {
 				t.Errorf("compaction without pick score: %+v", e.Compaction)

@@ -99,6 +99,26 @@ func (db *DB) WritePrometheus(w io.Writer) {
 		float64(s.CompactionBytesWritten))
 	pw.counter("xpointdb_compaction_entries_merged_total", "Entries merged by compactions.",
 		float64(s.CompactionEntriesMerged))
+	pw.counter("xpointdb_compaction_trivial_moves_total", "Input files moved down a level without any data I/O.",
+		float64(s.TrivialMoves))
+	pw.counter("xpointdb_compaction_subcompactions_total", "Sub-compaction ranges executed by parallelized jobs.",
+		float64(s.Subcompactions))
+	if pool := db.opts.BGPool; pool != nil {
+		busy, waiting, grants := pool.Stats()
+		pw.gauge("xpointdb_bgpool_busy", "Background tokens currently held (all shards).",
+			float64(busy))
+		pw.gauge("xpointdb_bgpool_size", "Configured background token-pool size.",
+			float64(pool.Size()))
+		pw.gauge("xpointdb_bgpool_waiting", "Background jobs waiting for a token (all shards).",
+			float64(waiting))
+		pw.counter("xpointdb_bgpool_grants_total", "Tokens granted since open (all shards).",
+			float64(grants))
+		shardWaiting, shardGrants := pool.TagStats(db.opts.StallSource)
+		pw.gauge("xpointdb_bgpool_shard_waiting", "Background jobs from this shard waiting for a token.",
+			float64(shardWaiting))
+		pw.counter("xpointdb_bgpool_shard_grants_total", "Tokens granted to this shard since open.",
+			float64(shardGrants))
+	}
 
 	// The per-level stats table, each column one labelled family.
 	ls := db.LevelStats()

@@ -190,62 +190,19 @@ func (db *DB) quarantineFile(level int, meta *manifest.FileMeta, ce *sstable.Cor
 // in place (outputs at the same level, no overlaps).
 func (db *DB) repairCompaction(level int, meta *manifest.FileMeta) error {
 	db.mu.Lock()
-	v := db.vs.Current()
-	outputLevel := level + 1
-	if outputLevel >= manifest.NumLevels {
-		outputLevel = level
-	}
-	var inputs []*manifest.FileMeta
-	if level == 0 {
-		inputs = append([]*manifest.FileMeta(nil), v.Files[0]...)
-	} else {
-		inputs = []*manifest.FileMeta{meta}
-	}
-	var overlaps []*manifest.FileMeta
-	if outputLevel != level {
-		smallest, largest := keyRangeOf(inputs)
-		overlaps = v.Overlaps(outputLevel, smallest, largest)
-	}
-	c := &compaction{
-		level:       level,
-		outputLevel: outputLevel,
-		inputs:      inputs,
-		overlaps:    overlaps,
-		base:        v,
-		snaps:       db.liveSnapshotSeqs(),
-		recovery:    true,
-	}
-	c.base.Ref()
+	c := db.picker.pickRepair(db.vs.Current(), level, meta, db.liveSnapshotSeqs())
 	// Exclude a concurrent manual CompactRange for the duration (the
 	// background compactor is already idling on the latch).
 	db.compacting = true
 	db.mu.Unlock()
 
-	var inputBytes, upperBytes int64
-	for _, f := range c.inputs {
-		upperBytes += f.Size
-	}
-	inputBytes = upperBytes
-	for _, f := range c.overlaps {
-		inputBytes += f.Size
-	}
-	db.emitCompactionBegin(c, inputBytes)
-	start := db.clk.Now()
-	stats, err := db.runCompaction(c)
-	compDur := db.clk.Now().Sub(start)
-	db.emitCompactionEnd(c, stats.read, stats.written, stats.outputs,
-		stats.entries, compDur, err)
-	c.base.Unref()
+	err := db.executePickedCompaction(c)
 
 	db.mu.Lock()
 	db.compacting = false
 	db.bgCond.Broadcast()
 	db.mu.Unlock()
 	if err == nil {
-		db.metrics.Compactions.Add(1)
-		db.metrics.CompactionLatency.Record(compDur)
-		db.metrics.Levels[c.outputLevel].recordCompaction(
-			upperBytes, stats.read, stats.written, compDur)
 		db.deleteObsoleteFiles()
 	}
 	return err

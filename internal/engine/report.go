@@ -36,6 +36,8 @@ type MetricsSnapshot struct {
 	CompactionBytesRead     int64
 	CompactionBytesWritten  int64
 	CompactionEntriesMerged int64
+	TrivialMoves            int64
+	Subcompactions          int64
 
 	SuperVersionInstalls int64
 	ZombieFilesDeleted   int64
@@ -115,6 +117,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CompactionBytesRead:     m.CompactionBytesRead.Load(),
 		CompactionBytesWritten:  m.CompactionBytesWritten.Load(),
 		CompactionEntriesMerged: m.CompactionEntriesMerged.Load(),
+		TrivialMoves:            m.TrivialMoves.Load(),
+		Subcompactions:          m.Subcompactions.Load(),
 
 		SuperVersionInstalls: m.SuperVersionInstalls.Load(),
 		ZombieFilesDeleted:   m.ZombieFilesDeleted.Load(),
@@ -186,6 +190,8 @@ func (m *Metrics) Report() string {
 	fmt.Fprintf(&b, "compaction     : %d (read %d B, wrote %d B, merged %d entries; mean %v, p99 %v)\n",
 		s.Compactions, s.CompactionBytesRead, s.CompactionBytesWritten, s.CompactionEntriesMerged,
 		s.CompactionMean, s.CompactionP99)
+	fmt.Fprintf(&b, "compaction mech: %d trivial moves, %d sub-compactions\n",
+		s.TrivialMoves, s.Subcompactions)
 	fmt.Fprintf(&b, "superversion   : %d installs, %d pinned (max %d), %d zombie SSTs deleted\n",
 		s.SuperVersionInstalls, s.PinnedVersions, s.PinnedVersionsMax, s.ZombieFilesDeleted)
 	fmt.Fprintf(&b, "read path      : mem %d, imm %d, L0 %d, deep %d, miss %d; L0 probes %d, bloom skips %d\n",
@@ -313,6 +319,12 @@ func (db *DB) StatsReport() string {
 	total, delayed, adjustments := db.controller.Stats()
 	fmt.Fprintf(&b, "controller     : state %v, rate %.1f MB/s (%d delayed ops %v total, %d rate steps)\n",
 		stall, db.controller.Rate()/(1<<20), delayed, total.Round(time.Microsecond), adjustments)
+	if pool := db.opts.BGPool; pool != nil {
+		busy, waiting, grants := pool.Stats()
+		shardWaiting, shardGrants := pool.TagStats(db.opts.StallSource)
+		fmt.Fprintf(&b, "bg pool        : %d/%d busy, %d waiting, %d grants (this shard: %d waiting, %d grants)\n",
+			busy, pool.Size(), waiting, grants, shardWaiting, shardGrants)
+	}
 	if db.blocks != nil {
 		fmt.Fprintf(&b, "block cache    : %s\n", db.blocks)
 	}

@@ -37,6 +37,10 @@ const (
 	KindFlushEnd        Kind = "flush_end"
 	KindCompactionBegin Kind = "compaction_begin"
 	KindCompactionEnd   Kind = "compaction_end"
+	// KindCompactionDeferred marks a compaction the space budget pushed
+	// back (projected output over MaxAllowedSpace); the job retries once
+	// reclamation or a budget raise frees headroom.
+	KindCompactionDeferred Kind = "compaction_deferred"
 	KindStallChange     Kind = "stall_change"
 	KindRateChange      Kind = "rate_change"
 	KindWALSync         Kind = "wal_sync"
@@ -127,8 +131,14 @@ type Compaction struct {
 	BytesRead    int64   `json:"bytes_read,omitempty"`
 	BytesWritten int64   `json:"bytes_written,omitempty"`
 	Entries      int64   `json:"entries,omitempty"`
-	DurationUS   int64   `json:"duration_us,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// Subcompactions is how many disjoint key-range merge loops the job
+	// split into (1 = unsplit; 0 for a trivial move).
+	Subcompactions int `json:"subcompactions,omitempty"`
+	// TrivialMove marks a job executed as a pure manifest edit: the
+	// inputs moved to the output level with zero data I/O.
+	TrivialMove bool  `json:"trivial_move,omitempty"`
+	DurationUS  int64 `json:"duration_us,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // Stall records a stall-condition transition with its cause, the
@@ -461,9 +471,18 @@ func (e Event) String() string {
 			return fmt.Sprintf("%s compaction L%d→L%d FAILED: %s",
 				ts, e.Compaction.Level, e.Compaction.OutputLevel, e.Compaction.Error)
 		}
-		return fmt.Sprintf("%s compaction end: L%d→L%d read %dB wrote %dB (%d files) in %dµs",
+		if e.Compaction.TrivialMove {
+			return fmt.Sprintf("%s compaction end: L%d→L%d trivial move (%d files, no I/O) in %dµs",
+				ts, e.Compaction.Level, e.Compaction.OutputLevel,
+				e.Compaction.OutputFiles, e.Compaction.DurationUS)
+		}
+		return fmt.Sprintf("%s compaction end: L%d→L%d read %dB wrote %dB (%d files, %d subs) in %dµs",
 			ts, e.Compaction.Level, e.Compaction.OutputLevel, e.Compaction.BytesRead,
-			e.Compaction.BytesWritten, e.Compaction.OutputFiles, e.Compaction.DurationUS)
+			e.Compaction.BytesWritten, e.Compaction.OutputFiles,
+			e.Compaction.Subcompactions, e.Compaction.DurationUS)
+	case KindCompactionDeferred:
+		return fmt.Sprintf("%s compaction deferred: L%d→L%d %dB projected over space budget",
+			ts, e.Compaction.Level, e.Compaction.OutputLevel, e.Compaction.BytesRead)
 	case KindStallChange:
 		return fmt.Sprintf("%s stall %s → %s (L0=%d imm=%d rate=%.1fMB/s)",
 			ts, e.Stall.From, e.Stall.To, e.Stall.L0Files, e.Stall.Immutables,

@@ -120,6 +120,14 @@ func (db *DB) WritePrometheus(w io.Writer) {
 		func(i int) float64 { return float64(snaps[i].Compactions) })
 	each("xpointdb_shard_compaction_written_bytes_total", "Compaction output bytes written.", "counter",
 		func(i int) float64 { return float64(snaps[i].CompactionBytesWritten) })
+	each("xpointdb_shard_trivial_moves_total", "Input files moved down a level without data I/O.", "counter",
+		func(i int) float64 { return float64(snaps[i].TrivialMoves) })
+	each("xpointdb_shard_subcompactions_total", "Sub-compaction ranges executed by the shard.", "counter",
+		func(i int) float64 { return float64(snaps[i].Subcompactions) })
+	each("xpointdb_shard_bgpool_waiting", "Background jobs from the shard waiting for a pool token.", "gauge",
+		func(i int) float64 { w, _ := db.pool.TagStats(i); return float64(w) })
+	each("xpointdb_shard_bgpool_grants_total", "Pool tokens granted to the shard since open.", "counter",
+		func(i int) float64 { _, g := db.pool.TagStats(i); return float64(g) })
 	each("xpointdb_shard_l0_files", "Current Level-0 file count (stall pressure input).", "gauge",
 		func(i int) float64 { return float64(l0s[i]) })
 	each("xpointdb_shard_bytes", "Total SST bytes across the shard's levels.", "gauge",

@@ -122,6 +122,13 @@ func (db *DB) StatsReport() string {
 	busy, waiting, grants := db.pool.Stats()
 	fmt.Fprintf(&b, "bg pool: slots=%d busy=%d waiting=%d grants=%d\n",
 		db.pool.Size(), busy, waiting, grants)
+	for i := range db.shards {
+		w, g := db.pool.TagStats(i)
+		fmt.Fprintf(&b, "bg pool shard %d: waiting=%d grants=%d\n", i, w, g)
+	}
+	if db.pacer != nil {
+		fmt.Fprintf(&b, "compaction pacer: %dB/s shared\n", db.pacer.Rate())
+	}
 	cross, aborts, rf, ab := db.TxnStats()
 	fmt.Fprintf(&b, "cross-shard txns: committed=%d aborted=%d rolled_forward=%d aborted_at_open=%d pending=%d\n",
 		cross, aborts, rf, ab, db.pendingTxns())

@@ -50,6 +50,7 @@ import (
 	"xpointdb/internal/bgpool"
 	"xpointdb/internal/cache"
 	"xpointdb/internal/clock"
+	"xpointdb/internal/costmodel"
 	"xpointdb/internal/engine"
 	"xpointdb/internal/keys"
 	"xpointdb/internal/obs"
@@ -85,8 +86,9 @@ type Options struct {
 	// TOTAL budget of the one shared cache. EventListener/
 	// EventSinkQueue/ObsAddr configure the single shared event stream
 	// and ops server. BlockCache, Controller, BGPool, CacheID,
-	// StallSource and ShardTag must be left zero — the sharded layer
-	// owns them.
+	// StallSource, ShardTag and CompactionPacer must be left zero —
+	// the sharded layer owns them (CompactionRateBytesPerSec becomes
+	// one shared pacer across every shard).
 	Engine engine.Options
 
 	// ShardFS, if non-nil, supplies shard i's filesystem instead of
@@ -125,6 +127,7 @@ type DB struct {
 	pool       *bgpool.Pool
 	controller *throttle.Controller
 	space      *engine.SpaceManager
+	pacer      *costmodel.Pacer // shared compaction I/O rate limit (nil = unlimited)
 
 	ev     eventsSink // shared tagged event stream (serve.go)
 	hub    *obs.Hub
@@ -165,7 +168,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	if opts.Engine.BlockCache != nil || opts.Engine.Controller != nil ||
 		opts.Engine.BGPool != nil || opts.Engine.CacheID != 0 || opts.Engine.ShardTag != 0 ||
-		opts.Engine.SpaceManager != nil {
+		opts.Engine.SpaceManager != nil || opts.Engine.CompactionPacer != nil {
 		return nil, errors.New("shardeddb: shared-resource engine options are owned by the sharded layer")
 	}
 	if len(opts.Boundaries) == 0 && opts.Shards > 1 {
@@ -211,6 +214,10 @@ func Open(opts Options) (*DB, error) {
 		}
 	}
 	db.pool = bgpool.New(clk, slots)
+	// One compaction-I/O rate limit across every shard: the configured
+	// bytes/sec is a device budget, not a per-shard one, so shards
+	// sharing a device pace against the same virtual-time ledger.
+	db.pacer = costmodel.NewPacer(opts.Engine.CompactionRateBytesPerSec)
 	if opts.Engine.MaxAllowedSpace > 0 {
 		// One space budget across every shard: a hot shard's files and
 		// reservations consume headroom all shards observe, and each
@@ -290,6 +297,7 @@ func (db *DB) shardOptions(i int, fs vfs.FS) engine.Options {
 	o.StallSource = i
 	o.BGPool = db.pool
 	o.SpaceManager = db.space
+	o.CompactionPacer = db.pacer
 	// One event stream, one ops server — owned here, not per shard.
 	o.ObsAddr = ""
 	o.EventListener = db.shardListener(i)

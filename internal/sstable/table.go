@@ -525,6 +525,71 @@ func (r *Reader) GetStats(ikey []byte, st *ProbeStats) (key, value []byte, found
 // Size returns the file size.
 func (r *Reader) Size() int64 { return r.size }
 
+// DataWindow returns the byte span [off, off+n) of the contiguous data
+// blocks a forward scan over internal keys in [start, end) can touch
+// (start inclusive, end exclusive; nil means unbounded). The span
+// includes one block past the end boundary: a two-level iterator steps
+// into the next block before its caller can see that the first key
+// there is out of range. n == 0 means no block can hold a key in the
+// range.
+func (r *Reader) DataWindow(start, end []byte) (off, n int64, err error) {
+	it, err := newBlockIter(r.index)
+	if err != nil {
+		return 0, 0, err
+	}
+	if start == nil {
+		it.SeekToFirst()
+	} else {
+		it.SeekGE(start)
+	}
+	if !it.Valid() {
+		return 0, 0, it.Error()
+	}
+	first, _, err := decodeHandle(it.Value())
+	if err != nil {
+		return 0, 0, err
+	}
+	last := first
+	for it.Valid() {
+		h, _, herr := decodeHandle(it.Value())
+		if herr != nil {
+			return 0, 0, herr
+		}
+		if h.offset >= last.offset {
+			last = h
+		}
+		if end != nil && keys.Compare(it.Key(), end) >= 0 {
+			// This block's separator reaches end, so the scan stops
+			// inside it or at the first key of the block after it —
+			// include that one block and stop.
+			it.Next()
+			if it.Valid() {
+				if h2, _, e2 := decodeHandle(it.Value()); e2 == nil && h2.offset >= last.offset {
+					last = h2
+				}
+			}
+			break
+		}
+		it.Next()
+	}
+	if err := it.Error(); err != nil {
+		return 0, 0, err
+	}
+	off = int64(first.offset)
+	n = int64(last.offset+last.length+blockTrailerLen) - off
+	return off, n, nil
+}
+
+// WithFile returns a Reader sharing r's parsed metadata (index and
+// filter, already pinned in memory) but reading data blocks from f
+// instead — used by compaction inputs whose data window was bulk-loaded
+// into memory after the metadata was read from the real file.
+func (r *Reader) WithFile(f vfs.File) *Reader {
+	nr := *r
+	nr.f = f
+	return &nr
+}
+
 // Close closes the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
 

@@ -132,6 +132,7 @@ type geometry struct {
 	l0Trigger      int
 	pipelined      bool
 	blockSize      int
+	maxSub         int
 }
 
 func pickGeometry(rng *rand.Rand) geometry {
@@ -144,6 +145,9 @@ func pickGeometry(rng *rand.Rand) geometry {
 		l0Trigger:      2 + rng.Intn(3),
 		pipelined:      rng.Intn(2) == 0,
 		blockSize:      1<<10 + rng.Intn(3)<<10,
+		// Crashes must land inside multi-range atomic installs too, so
+		// the sub-compaction fan-out varies across seeds.
+		maxSub: 1 + rng.Intn(4),
 	}
 }
 
@@ -156,6 +160,7 @@ func (g geometry) apply(o *engine.Options) {
 	o.L0StopTrigger = g.l0Trigger + 12
 	o.PipelinedWrites = g.pipelined
 	o.BlockSize = g.blockSize
+	o.MaxSubcompactions = g.maxSub
 	o.ThrottleMode = throttle.ModeNone
 	o.SyncWAL = false // per-op sync decided by the workload
 }
